@@ -1,0 +1,41 @@
+"""Figure 5: MBR-based false area vs. percentage of identified false hits.
+
+Paper (Europe B): near-linear dependency along MBR, MBC, RMBR, 4-C and
+the object itself; 5-C, MBE and CH detect *more* false hits than their
+false area alone predicts (adaptability matters).
+"""
+
+from bench_table3_false_hits import identified_false_hit_pct
+from bench_fig4_approx_quality import average_mbr_based_false_area
+
+KINDS = ("MBR", "MBC", "MBE", "RMBR", "4-C", "5-C", "CH")
+
+
+def test_fig5_dependency(benchmark, series_cache, classified, report):
+    series = series_cache("Europe B")
+    pairs = classified("Europe B")
+
+    def one_point():
+        return identified_false_hit_pct(pairs, "RMBR")
+
+    benchmark.pedantic(one_point, rounds=1, iterations=1)
+
+    points = []
+    for kind in KINDS:
+        fa = average_mbr_based_false_area(series.relation_a, kind)
+        pct = 0.0 if kind == "MBR" else identified_false_hit_pct(pairs, kind)
+        points.append((kind, fa, pct))
+
+    lines = [f"{'approx':>7} {'false area':>11} {'identified %':>13}"]
+    for kind, fa, pct in points:
+        lines.append(f"{kind:>7} {fa:>11.2f} {pct:>12.1f}%")
+    lines.append(" (paper: smaller false area -> more identified false hits;")
+    lines.append("  CH/5-C/MBE above the linear trend)")
+    report.table("Fig 5", "false area vs identified false hits (Europe B)", lines)
+
+    # Monotone trend: ordering points by false area descending must give
+    # a broadly increasing identification percentage.
+    ordered = sorted(points[1:], key=lambda t: -t[1])  # exclude MBR anchor
+    pcts = [p[2] for p in ordered]
+    # Allow local noise but require overall rise from worst to best.
+    assert pcts[-1] > pcts[0], f"no rising trend: {ordered}"

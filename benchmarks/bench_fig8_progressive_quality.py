@@ -1,0 +1,55 @@
+"""Figure 8: approximation quality of the progressive approximations.
+
+Paper: the enclosed circle covers 42% of the polygon area on average,
+the enclosed rectangle 43-45% — pleasantly high for 3-4 parameters.
+"""
+
+from repro.approximations import progressive_coverage
+from repro.datasets import bw, europe
+
+PAPER = {"Europe": {"MEC": 0.42, "MER": 0.43}, "BW": {"MEC": 0.42, "MER": 0.45}}
+
+
+def test_fig8_progressive_coverage(benchmark, scale, report):
+    eu = europe(size=scale.europe_size)
+    b = bw(size=scale.bw_size)
+
+    coverage = {}
+    for name, rel in (("Europe", eu), ("BW", b)):
+        coverage[name] = {}
+        for kind in ("MEC", "MER"):
+            vals = [
+                progressive_coverage(o.polygon, o.approximation(kind))
+                for o in rel
+            ]
+            coverage[name][kind] = sum(vals) / len(vals)
+
+    lines = [f"{'relation':>10} {'MEC':>7} {'MER':>7}"]
+    for name in ("Europe", "BW"):
+        lines.append(
+            f"{name:>10} {coverage[name]['MEC']:>7.2f} "
+            f"{coverage[name]['MER']:>7.2f}"
+        )
+        lines.append(
+            f"{'(paper)':>10} {PAPER[name]['MEC']:>7.2f} "
+            f"{PAPER[name]['MER']:>7.2f}"
+        )
+    report.table(
+        "Fig 8", "area coverage of progressive approximations", lines
+    )
+
+    def construct():
+        from repro.approximations import compute_approximation
+
+        return [
+            compute_approximation(o.polygon, "MER") for o in eu.objects[:25]
+        ]
+
+    benchmark.pedantic(construct, rounds=1, iterations=1)
+
+    # Shape: both progressive approximations cover a substantial fraction
+    # (paper ~0.42-0.45; wide bounds for synthetic-data variation).
+    for name in ("Europe", "BW"):
+        for kind in ("MEC", "MER"):
+            cov = coverage[name][kind]
+            assert 0.25 <= cov <= 0.75, f"{name}/{kind}: coverage {cov:.2f}"

@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+Expensive artifacts (relations, test series, ground-truth classification
+of candidate pairs) are session-cached here so the whole harness runs in
+minutes.
+
+Scale control: ``REPRO_BENCH_SCALE=quick`` shrinks the relations for CI;
+the default runs the paper-sized relations (Europe: 810 objects, BW: 374
+objects).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _support import (  # noqa: E402
+    BenchReport,
+    classified_candidates,
+    get_series,
+    scale_profile,
+)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Scale profile: 'full' (paper sizes) or 'quick' (CI)."""
+    return scale_profile()
+
+
+@pytest.fixture(scope="session")
+def series_cache(scale):
+    """Lazily built canonical test series with classified candidates."""
+
+    cache: Dict[str, object] = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = get_series(name, scale)
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def classified(scale):
+    """name -> list of (obj_a, obj_b, is_hit) for a canonical series."""
+
+    cache: Dict[str, List[Tuple[object, object, bool]]] = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = classified_candidates(get_series(name, scale))
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Report sink: prints and persists paper-style tables."""
+    sink = BenchReport(Path(__file__).parent / "reports")
+    yield sink
+    sink.flush_summary()

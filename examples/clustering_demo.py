@@ -1,0 +1,55 @@
+"""Global clustering of object pages — the paper's future-work lever.
+
+Section 6 of the paper observes that after its optimisations "the major
+cost factor ... is the time spent for fetching objects from disk into
+main memory" and points to global clustering ([BK 94]).  This demo
+packs the exact geometry of both relations onto 2 KB pages in four
+placement orders and replays the join's object-fetch sequence through a
+shared LRU buffer.
+
+Run:  python examples/clustering_demo.py
+"""
+
+from repro.core import SpatialJoinProcessor
+from repro.core.selectivity import estimate_join
+from repro.datasets import europe
+from repro.index.clustering import compare_placements
+
+
+def main() -> None:
+    relation_a = europe(size=100)
+    relation_b = europe(seed=17, size=100)
+
+    # An optimiser would estimate the join before paying for it:
+    estimate = estimate_join(relation_a, relation_b)
+    print("pre-execution estimate ([Gün 93]-style):")
+    print(f"  expected candidates:     {estimate.candidates:.0f}")
+    print(f"  expected exact tests:    {estimate.remaining_candidates:.0f}")
+    print(f"  expected pipeline cost:  {estimate.total_seconds:.2f} s "
+          f"(paper's §5 constants)")
+
+    result = SpatialJoinProcessor().join(relation_a, relation_b)
+    pairs = result.id_pairs()
+    print(f"\nmeasured: {result.stats.candidate_pairs} candidates, "
+          f"{len(pairs)} result pairs")
+
+    print("\nobject-access I/O by placement order "
+          "(2 KB pages, 32-page LRU):")
+    print(f"  {'placement':<11} {'page reads':>11} {'hit ratio':>10}")
+    reports = compare_placements(
+        relation_a, relation_b, pairs, page_size=2048, buffer_pages=32
+    )
+    baseline = None
+    for report in sorted(reports, key=lambda r: -r.page_reads):
+        if baseline is None:
+            baseline = max(report.page_reads, 1)
+        print(f"  {report.order:<11} {report.page_reads:>11} "
+              f"{report.hit_ratio:>9.1%}  "
+              f"({report.page_reads / baseline:.2f}x worst)")
+
+    print("\n(Hilbert-clustered placement turns the join's spatial"
+          " locality into buffer hits — [BK 94])")
+
+
+if __name__ == "__main__":
+    main()

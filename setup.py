@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires an editable-wheel build on modern pip; in
+fully offline environments without `wheel`, use `python setup.py develop`
+instead (same result).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,204 @@
+"""Maximum enclosed rectangle (MER, 4 parameters) — progressive (§3.3).
+
+The paper restricts the enclosed rectangles it searches to those that
+
+1. intersect the longest enclosed horizontal connection (chord) starting
+   in a vertex of the polygon, and
+2. have x- and y-coordinates taken from the polygon's vertex coordinates.
+
+We implement exactly this restricted search.  Candidate coordinate sets
+are subsampled for very complex polygons (hundreds of vertices) to keep
+the construction near-linear; the result is always a genuinely enclosed
+rectangle, so the progressive invariant (rect ⊆ polygon) holds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Coord, Polygon, Rect
+from ..geometry.fastops import EdgeArrays
+from .base import ConvexApproximation
+
+#: caps on candidate coordinate counts (subsampled evenly when exceeded).
+_MAX_X_CANDIDATES = 14
+_MAX_Y_CANDIDATES = 12
+_MAX_CHORD_VERTICES = 64
+
+
+class MERApproximation(ConvexApproximation):
+    """Maximum enclosed axis-aligned rectangle (paper's restricted def.)."""
+
+    kind = "MER"
+    is_conservative = False
+
+    def __init__(self, rect: Rect):
+        super().__init__(rect.corners())
+        self.rect = rect
+
+    @classmethod
+    def of(cls, polygon: Polygon) -> "MERApproximation":
+        return cls(maximum_enclosed_rectangle(polygon))
+
+    @property
+    def num_parameters(self) -> int:
+        return 4
+
+    def __repr__(self) -> str:
+        return f"MERApproximation({self.rect!r})"
+
+
+def maximum_enclosed_rectangle(polygon: Polygon) -> Rect:
+    """Largest enclosed rectangle under the paper's two restrictions."""
+    fast = EdgeArrays(polygon)
+    chord = _longest_vertex_chord(polygon, fast)
+    best: Optional[Rect] = None
+    if chord is not None:
+        y0, xl, xr = chord
+        best = _search_rectangles(polygon, fast, y0, xl, xr)
+    if best is None:
+        best = _fallback_rect(polygon)
+    return best
+
+
+def _longest_vertex_chord(
+    polygon: Polygon, fast: EdgeArrays
+) -> Optional[Tuple[float, float, float]]:
+    """Longest horizontal inside-chord through a polygon vertex.
+
+    Returns ``(y, x_left, x_right)`` or ``None`` if no chord is found.
+    """
+    verts = list(polygon.shell)
+    if len(verts) > _MAX_CHORD_VERTICES:
+        step = len(verts) / _MAX_CHORD_VERTICES
+        verts = [verts[int(i * step)] for i in range(_MAX_CHORD_VERTICES)]
+    best: Optional[Tuple[float, float, float]] = None
+    best_len = 0.0
+    height = polygon.mbr().height
+    for vx, vy in verts:
+        # Nudge off the vertex's exact y to avoid degenerate crossings.
+        for y in (vy + height * 1e-7, vy - height * 1e-7):
+            interval = _inside_interval_at(fast, y, vx)
+            if interval is None:
+                continue
+            xl, xr = interval
+            if xr - xl > best_len:
+                best_len = xr - xl
+                best = (y, xl, xr)
+    return best
+
+
+def _inside_interval_at(
+    fast: EdgeArrays, y: float, x_probe: float
+) -> Optional[Tuple[float, float]]:
+    """The inside-interval of the horizontal line at ``y`` containing
+    (or adjacent to) ``x_probe``."""
+    crosses = (fast.y1 > y) != (fast.y2 > y)
+    if not crosses.any():
+        return None
+    y1c = fast.y1[crosses]
+    y2c = fast.y2[crosses]
+    x1c = fast.x1[crosses]
+    x2c = fast.x2[crosses]
+    xs = np.sort((x2c - x1c) * (y - y1c) / (y2c - y1c) + x1c)
+    if len(xs) < 2:
+        return None
+    # Even-odd: intervals (xs[0], xs[1]), (xs[2], xs[3]), ... are inside.
+    best = None
+    best_dist = math.inf
+    for i in range(0, len(xs) - 1, 2):
+        xl, xr = float(xs[i]), float(xs[i + 1])
+        if xl <= x_probe <= xr:
+            return (xl, xr)
+        dist = min(abs(x_probe - xl), abs(x_probe - xr))
+        if dist < best_dist:
+            best_dist = dist
+            best = (xl, xr)
+    # The probe vertex sits on the boundary; accept the nearest interval.
+    return best
+
+
+def _candidate_coords(values: Sequence[float], cap: int) -> List[float]:
+    uniq = sorted(set(values))
+    if len(uniq) <= cap:
+        return uniq
+    step = (len(uniq) - 1) / (cap - 1)
+    return [uniq[int(round(i * step))] for i in range(cap)]
+
+
+def _search_rectangles(
+    polygon: Polygon,
+    fast: EdgeArrays,
+    y0: float,
+    xl: float,
+    xr: float,
+) -> Optional[Rect]:
+    """Best rectangle with vertex coordinates crossing the chord."""
+    xs_all = [v[0] for v in polygon.shell if xl <= v[0] <= xr]
+    xs = _candidate_coords(xs_all + [xl, xr], _MAX_X_CANDIDATES)
+    ys_all = {v[1] for v in polygon.shell}
+    # Candidate ordinates are spread evenly over the whole vertical range
+    # (complex polygons have hundreds of vertex ordinates; taking only
+    # the nearest ones would restrict the search to a thin band).
+    below = sorted(
+        _candidate_coords([y for y in ys_all if y <= y0], _MAX_Y_CANDIDATES),
+        reverse=True,
+    )
+    above = sorted(
+        _candidate_coords([y for y in ys_all if y >= y0], _MAX_Y_CANDIDATES)
+    )
+    if not below:
+        below = [y0]
+    if not above:
+        above = [y0]
+
+    best: Optional[Rect] = None
+    best_area = 0.0
+    for i in range(len(xs)):
+        for j in range(i + 1, len(xs)):
+            x1, x2 = xs[i], xs[j]
+            width = x2 - x1
+            if width <= 0:
+                continue
+            for ylo in below:
+                # Upper bound on area is width * (max(above) - ylo);
+                # skip candidates that cannot beat the best (taller
+                # rectangles later in the loop may still win).
+                if width * (above[-1] - ylo) <= best_area:
+                    continue
+                if not fast.rect_inside(x1, ylo, x2, above[0]):
+                    continue
+                # Valid yhi values form a prefix of `above`: binary-search
+                # the largest one.
+                lo, hi = 0, len(above) - 1
+                while lo < hi:
+                    mid = (lo + hi + 1) // 2
+                    if fast.rect_inside(x1, ylo, x2, above[mid]):
+                        lo = mid
+                    else:
+                        hi = mid - 1
+                area = width * (above[lo] - ylo)
+                if area > best_area:
+                    best_area = area
+                    best = Rect(x1, ylo, x2, above[lo])
+    return best
+
+
+def _fallback_rect(polygon: Polygon) -> Rect:
+    """Inscribed square of the largest interior point found by probing.
+
+    Used when the chord search fails (tiny or pathological polygons); the
+    square centred at an interior point with half-diagonal equal to the
+    boundary distance is always enclosed.
+    """
+    from .mec import _grid_fallback, _refine
+
+    fast = EdgeArrays(polygon)
+    center, radius = _grid_fallback(polygon, fast)
+    center, radius = _refine(fast, center, radius, rounds=10)
+    half = radius / math.sqrt(2.0) * (1 - 1e-9)
+    half = max(half, 1e-12)
+    return Rect(center[0] - half, center[1] - half, center[0] + half, center[1] + half)

@@ -1,0 +1,139 @@
+"""The multi-step spatial join processor (the paper's contribution)."""
+
+from .costs import (
+    PAGE_ACCESS_SECONDS,
+    PLANESWEEP_EXACT_SECONDS,
+    TRSTAR_ACCESS_FACTOR,
+    TRSTAR_EXACT_SECONDS,
+    ApproximationImpact,
+    CostBreakdown,
+    JoinScenario,
+    approximation_impact,
+    total_join_cost,
+)
+from .distance import (
+    DistanceJoinConfig,
+    DistanceJoinResult,
+    DistanceJoinStats,
+    brute_force_distance_join,
+    polygon_distance,
+    within_distance_join,
+)
+from .inside import (
+    InsideJoinConfig,
+    InsideJoinResult,
+    brute_force_inside_join,
+    points_in_regions_join,
+)
+from .lineregion import (
+    LineJoinConfig,
+    LineJoinResult,
+    brute_force_line_region_join,
+    line_region_join,
+)
+from .histogram import (
+    SpatialHistogram,
+    estimate_join_candidates_histogram,
+    joint_histograms,
+)
+from .parallel import (
+    ParallelJoinReport,
+    ParallelSimulation,
+    TileCost,
+    schedule_lpt,
+    simulate_parallel_join,
+    tile_costs,
+)
+from .selectivity import (
+    FilterRates,
+    JoinEstimate,
+    RelationProfile,
+    calibrate_rates,
+    estimate_candidates,
+    estimate_join,
+    mbr_join_selectivity,
+)
+from .filters import (
+    NO_FILTER,
+    FilterConfig,
+    FilterOutcome,
+    geometric_filter,
+)
+from .join import (
+    EXACT_METHODS,
+    JoinConfig,
+    JoinResult,
+    SpatialJoinProcessor,
+    nested_loops_join,
+)
+from .overlay import MapOverlay, OverlayPiece, OverlayResult
+from .partition import (
+    PartitionedJoinResult,
+    PartitionStats,
+    partitioned_join,
+)
+from .stats import MultiStepStats
+from .window import WindowQueryProcessor, WindowQueryStats
+from .within import within_exact, within_filter
+
+__all__ = [
+    "ApproximationImpact",
+    "CostBreakdown",
+    "DistanceJoinConfig",
+    "DistanceJoinResult",
+    "DistanceJoinStats",
+    "brute_force_distance_join",
+    "polygon_distance",
+    "within_distance_join",
+    "EXACT_METHODS",
+    "FilterConfig",
+    "FilterRates",
+    "InsideJoinConfig",
+    "InsideJoinResult",
+    "JoinEstimate",
+    "LineJoinConfig",
+    "LineJoinResult",
+    "brute_force_line_region_join",
+    "line_region_join",
+    "brute_force_inside_join",
+    "points_in_regions_join",
+    "ParallelJoinReport",
+    "ParallelSimulation",
+    "RelationProfile",
+    "SpatialHistogram",
+    "TileCost",
+    "calibrate_rates",
+    "estimate_candidates",
+    "estimate_join",
+    "estimate_join_candidates_histogram",
+    "joint_histograms",
+    "mbr_join_selectivity",
+    "schedule_lpt",
+    "simulate_parallel_join",
+    "tile_costs",
+    "FilterOutcome",
+    "JoinConfig",
+    "JoinResult",
+    "JoinScenario",
+    "MultiStepStats",
+    "MapOverlay",
+    "NO_FILTER",
+    "OverlayPiece",
+    "OverlayResult",
+    "PAGE_ACCESS_SECONDS",
+    "PLANESWEEP_EXACT_SECONDS",
+    "SpatialJoinProcessor",
+    "TRSTAR_ACCESS_FACTOR",
+    "TRSTAR_EXACT_SECONDS",
+    "approximation_impact",
+    "geometric_filter",
+    "nested_loops_join",
+    "total_join_cost",
+    "WindowQueryProcessor",
+    "WindowQueryStats",
+    "within_exact",
+    "within_filter",
+    "PartitionStats",
+    "PartitionedJoinResult",
+    "partitioned_join",
+]

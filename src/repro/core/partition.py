@@ -1,0 +1,190 @@
+"""Partitioned spatial joins — the paper's §6 parallelism outlook.
+
+The paper closes by naming CPU- and I/O-parallelism as future work.  This
+module implements the standard spatial declustering that later became
+PBSM-style partitioned joins: the data space is cut into a grid of
+tiles, objects are replicated into every tile their MBR intersects, each
+tile is joined independently (each tile's work could run on its own
+processor/disk), and duplicates are avoided with the reference-point
+rule — a candidate pair is reported only by the tile containing the
+lower-left corner of the two MBRs' intersection rectangle.
+
+Execution here is sequential; the per-tile work statistics quantify the
+achievable parallel speedup (total work / slowest tile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..datasets.relations import SpatialObject, SpatialRelation
+from ..geometry import Rect
+from .join import JoinConfig, JoinResult, SpatialJoinProcessor
+from .stats import MultiStepStats
+
+
+@dataclass
+class PartitionStats:
+    """Work performed by one tile's local join."""
+
+    tile: Tuple[int, int]
+    objects_a: int = 0
+    objects_b: int = 0
+    candidate_pairs: int = 0
+    output_pairs: int = 0
+
+    @property
+    def work(self) -> int:
+        """Work proxy: candidate pairs examined by this tile."""
+        return self.candidate_pairs
+
+
+@dataclass
+class PartitionedJoinResult:
+    """Join result plus per-tile work breakdown."""
+
+    pairs: List[Tuple[SpatialObject, SpatialObject]]
+    partitions: List[PartitionStats]
+    stats: MultiStepStats
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def id_pairs(self) -> List[Tuple[int, int]]:
+        return [(a.oid, b.oid) for a, b in self.pairs]
+
+    @property
+    def total_work(self) -> int:
+        return sum(p.work for p in self.partitions)
+
+    @property
+    def max_tile_work(self) -> int:
+        return max((p.work for p in self.partitions), default=0)
+
+    def parallel_speedup_bound(self) -> float:
+        """Ideal speedup with one processor per tile (work balance)."""
+        if self.max_tile_work == 0:
+            return 1.0
+        return self.total_work / self.max_tile_work
+
+
+def partitioned_join(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    grid: Tuple[int, int] = (2, 2),
+    config: Optional[JoinConfig] = None,
+) -> PartitionedJoinResult:
+    """Grid-partitioned multi-step join (results equal the plain join)."""
+    config = config or JoinConfig()
+    nx, ny = grid
+    if nx < 1 or ny < 1:
+        raise ValueError(f"grid must be at least 1x1, got {grid}")
+
+    space = _joint_space(relation_a, relation_b)
+    tiles = _tile_rects(space, nx, ny)
+    buckets_a = _assign(relation_a, tiles)
+    buckets_b = _assign(relation_b, tiles)
+
+    processor = SpatialJoinProcessor(config)
+    all_pairs: List[Tuple[SpatialObject, SpatialObject]] = []
+    partitions: List[PartitionStats] = []
+    merged = MultiStepStats()
+    for key, _tile in tiles.items():
+        objs_a = buckets_a.get(key, [])
+        objs_b = buckets_b.get(key, [])
+        pstats = PartitionStats(
+            tile=key, objects_a=len(objs_a), objects_b=len(objs_b)
+        )
+        partitions.append(pstats)
+        if not objs_a or not objs_b:
+            continue
+        sub_a = _subrelation(relation_a.name, objs_a)
+        sub_b = _subrelation(relation_b.name, objs_b)
+        result = processor.join(sub_a, sub_b)
+        pstats.candidate_pairs = result.stats.candidate_pairs
+        _merge_stats(merged, result.stats)
+        for obj_a, obj_b in result.pairs:
+            if _owning_tile(obj_a.mbr, obj_b.mbr, space, nx, ny) == key:
+                pstats.output_pairs += 1
+                all_pairs.append((obj_a, obj_b))
+    return PartitionedJoinResult(
+        pairs=all_pairs, partitions=partitions, stats=merged
+    )
+
+
+def _joint_space(
+    relation_a: SpatialRelation, relation_b: SpatialRelation
+) -> Rect:
+    rects = [obj.mbr for obj in relation_a] + [obj.mbr for obj in relation_b]
+    if not rects:
+        return Rect(0, 0, 1, 1)
+    return Rect.union_all(rects)
+
+
+def _tile_rects(space: Rect, nx: int, ny: int) -> Dict[Tuple[int, int], Rect]:
+    tiles = {}
+    for i in range(nx):
+        for j in range(ny):
+            tiles[(i, j)] = Rect(
+                space.xmin + space.width * i / nx,
+                space.ymin + space.height * j / ny,
+                space.xmin + space.width * (i + 1) / nx,
+                space.ymin + space.height * (j + 1) / ny,
+            )
+    return tiles
+
+
+def _assign(
+    relation: SpatialRelation, tiles: Dict[Tuple[int, int], Rect]
+) -> Dict[Tuple[int, int], List[SpatialObject]]:
+    buckets: Dict[Tuple[int, int], List[SpatialObject]] = {}
+    for obj in relation:
+        for key, tile in tiles.items():
+            if obj.mbr.intersects(tile):
+                buckets.setdefault(key, []).append(obj)
+    return buckets
+
+
+class _SubRelation(SpatialRelation):
+    """A view over existing SpatialObjects (shares their caches)."""
+
+    def __init__(self, name: str, objects: List[SpatialObject]):
+        self.name = name
+        self.objects = objects
+
+
+def _subrelation(name: str, objects: List[SpatialObject]) -> SpatialRelation:
+    return _SubRelation(name, objects)
+
+
+def _owning_tile(
+    mbr_a: Rect, mbr_b: Rect, space: Rect, nx: int, ny: int
+) -> Tuple[int, int]:
+    """Duplicate avoidance: the tile owning the pair's reference point.
+
+    The reference point is the lower-left corner of the intersection of
+    the two MBRs; mapping it to a tile index assigns every qualifying
+    pair to exactly one tile.
+    """
+    inter = mbr_a.intersection(mbr_b)
+    if inter is None:
+        return (-1, -1)
+    ix = int((inter.xmin - space.xmin) / space.width * nx) if space.width else 0
+    iy = int((inter.ymin - space.ymin) / space.height * ny) if space.height else 0
+    return (min(nx - 1, max(0, ix)), min(ny - 1, max(0, iy)))
+
+
+def _merge_stats(into: MultiStepStats, other: MultiStepStats) -> None:
+    into.candidate_pairs += other.candidate_pairs
+    into.filter_false_hits += other.filter_false_hits
+    into.filter_hits_progressive += other.filter_hits_progressive
+    into.filter_hits_false_area += other.filter_hits_false_area
+    into.remaining_candidates += other.remaining_candidates
+    into.exact_hits += other.exact_hits
+    into.exact_false_hits += other.exact_false_hits
+    into.conservative_tests += other.conservative_tests
+    into.progressive_tests += other.progressive_tests
+    into.false_area_tests += other.false_area_tests
+    for op, count in other.exact_ops.counts.items():
+        into.exact_ops.count(op, count)

@@ -1,0 +1,75 @@
+"""Statistics of one multi-step join run.
+
+Every stage of the pipeline (Figure 1 of the paper) reports into a
+:class:`MultiStepStats`; the benchmark harness derives all of the paper's
+percentages (Tables 2–5, Figure 12) from these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..exact.costmodel import OperationCounter
+from ..index.join import JoinStats
+
+
+@dataclass
+class MultiStepStats:
+    """Counters for the three join steps."""
+
+    #: step 1 — MBR join.
+    mbr_join: JoinStats = field(default_factory=JoinStats)
+    candidate_pairs: int = 0
+
+    #: step 2 — geometric filter.
+    filter_false_hits: int = 0          # eliminated by conservative approx
+    filter_hits_progressive: int = 0    # proven by progressive approx
+    filter_hits_false_area: int = 0     # proven by false-area test
+    remaining_candidates: int = 0       # passed to the exact processor
+
+    #: step 3 — exact geometry.
+    exact_hits: int = 0
+    exact_false_hits: int = 0
+    exact_ops: OperationCounter = field(default_factory=OperationCounter)
+
+    #: approximation tests performed in step 2 (cheap; §5 neglects them).
+    conservative_tests: int = 0
+    progressive_tests: int = 0
+    false_area_tests: int = 0
+
+    @property
+    def filter_hits(self) -> int:
+        return self.filter_hits_progressive + self.filter_hits_false_area
+
+    @property
+    def identified_pairs(self) -> int:
+        """Pairs resolved without the exact processor (Fig. 12's 46%)."""
+        return self.filter_hits + self.filter_false_hits
+
+    @property
+    def total_hits(self) -> int:
+        return self.filter_hits + self.exact_hits
+
+    @property
+    def total_false_hits(self) -> int:
+        return self.filter_false_hits + self.exact_false_hits
+
+    def identification_rate(self) -> float:
+        if self.candidate_pairs == 0:
+            return 0.0
+        return self.identified_pairs / self.candidate_pairs
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "candidate_pairs": self.candidate_pairs,
+            "filter_false_hits": self.filter_false_hits,
+            "filter_hits": self.filter_hits,
+            "remaining_candidates": self.remaining_candidates,
+            "exact_hits": self.exact_hits,
+            "exact_false_hits": self.exact_false_hits,
+            "total_hits": self.total_hits,
+            "total_false_hits": self.total_false_hits,
+            "identification_rate": self.identification_rate(),
+            "exact_cost_ms": self.exact_ops.cost_ms(),
+        }

@@ -1,0 +1,42 @@
+"""Synthetic cartographic datasets and the paper's test series."""
+
+from .generators import (
+    DATA_SPACE,
+    cartographic_polygons,
+    lognormal_vertex_targets,
+    relation_statistics,
+    roughen_ring,
+    uniform_rect_items,
+    voronoi_cells,
+)
+from .relations import (
+    BW_PROFILE,
+    EUROPE_PROFILE,
+    SpatialObject,
+    SpatialRelation,
+    bw,
+    clear_cache,
+    europe,
+)
+from .testseries import TestSeries, canonical_series, strategy_a, strategy_b
+
+__all__ = [
+    "BW_PROFILE",
+    "DATA_SPACE",
+    "EUROPE_PROFILE",
+    "SpatialObject",
+    "SpatialRelation",
+    "TestSeries",
+    "bw",
+    "canonical_series",
+    "cartographic_polygons",
+    "clear_cache",
+    "europe",
+    "lognormal_vertex_targets",
+    "relation_statistics",
+    "roughen_ring",
+    "strategy_a",
+    "strategy_b",
+    "uniform_rect_items",
+    "voronoi_cells",
+]

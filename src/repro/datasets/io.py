@@ -1,0 +1,108 @@
+"""Relation persistence in WKT (Well-Known Text).
+
+Spatial relations serialise to plain-text files with one ``POLYGON``
+per line, the interchange format every spatial DBS of the paper's era
+(and today's PostGIS) understands.  Only the geometry subset the
+library models is supported: ``POLYGON`` with optional hole rings.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..geometry import Coord, Polygon
+from .relations import SpatialRelation
+
+_NUMBER = r"[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?"
+_RING_RE = re.compile(r"\(([^()]*)\)")
+
+
+def polygon_to_wkt(polygon: Polygon, precision: int = 9) -> str:
+    """Serialise one polygon to a ``POLYGON (...)`` string."""
+
+    def ring_text(ring) -> str:
+        pts = list(ring) + [ring[0]]  # WKT closes rings explicitly
+        inner = ", ".join(
+            f"{x:.{precision}g} {y:.{precision}g}" for x, y in pts
+        )
+        return f"({inner})"
+
+    rings = [ring_text(polygon.shell)]
+    rings.extend(ring_text(hole) for hole in polygon.holes)
+    return f"POLYGON ({', '.join(rings)})"
+
+
+def polygon_from_wkt(text: str) -> Polygon:
+    """Parse a ``POLYGON (...)`` string (holes supported)."""
+    stripped = text.strip()
+    if not stripped.upper().startswith("POLYGON"):
+        raise ValueError(f"not a POLYGON WKT: {stripped[:40]!r}")
+    rings: List[List[Coord]] = []
+    for ring_text in _RING_RE.findall(stripped):
+        coords: List[Coord] = []
+        for pair in ring_text.split(","):
+            parts = pair.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed coordinate pair: {pair!r}")
+            coords.append((float(parts[0]), float(parts[1])))
+        rings.append(coords)
+    if not rings:
+        raise ValueError("POLYGON with no rings")
+    return Polygon(rings[0], holes=rings[1:])
+
+
+def save_relation(
+    relation: SpatialRelation, path: Union[str, Path], precision: int = 9
+) -> None:
+    """Write a relation as one WKT polygon per line.
+
+    The file starts with a ``# relation: <name>`` comment so round-trips
+    preserve the relation name.
+    """
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# relation: {relation.name}\n")
+        for obj in relation:
+            fh.write(polygon_to_wkt(obj.polygon, precision) + "\n")
+
+
+def load_relation(path: Union[str, Path]) -> SpatialRelation:
+    """Read a relation written by :func:`save_relation`."""
+    path = Path(path)
+    name = path.stem
+    polygons: List[Polygon] = []
+    with path.open() as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                match = re.match(r"#\s*relation:\s*(.+)", line)
+                if match:
+                    name = match.group(1).strip()
+                continue
+            try:
+                polygons.append(polygon_from_wkt(line))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: {exc}") from exc
+    return SpatialRelation(name, polygons)
+
+
+def relations_equal(
+    rel_a: SpatialRelation, rel_b: SpatialRelation, tol: float = 1e-9
+) -> bool:
+    """Structural equality of two relations (used by round-trip tests)."""
+    if len(rel_a) != len(rel_b):
+        return False
+    for obj_a, obj_b in zip(rel_a, rel_b):
+        pa, pb = obj_a.polygon, obj_b.polygon
+        if len(pa.shell) != len(pb.shell) or len(pa.holes) != len(pb.holes):
+            return False
+        if any(
+            abs(x1 - x2) > tol or abs(y1 - y2) > tol
+            for (x1, y1), (x2, y2) in zip(pa.shell, pb.shell)
+        ):
+            return False
+    return True

@@ -1,0 +1,168 @@
+"""Spatial relations: object collections with cached derived data.
+
+A :class:`SpatialRelation` is the paper's "set of spatial objects defined
+on the same attributes".  Objects cache their approximations and TR*-tree
+representations so a benchmark sweep over many filter configurations pays
+each preprocessing cost once — mirroring the paper's model where
+approximations are computed at insertion time and stored in the SAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..approximations import Approximation, compute_approximation
+from ..exact.trstar_test import build_trstar
+from ..geometry import Polygon, Rect
+from ..index import RStarTree
+from ..index.trstar import TRStarTree
+from .generators import cartographic_polygons, relation_statistics
+
+
+class SpatialObject:
+    """One spatial object: id + polygon + cached derived representations."""
+
+    __slots__ = ("oid", "polygon", "_approximations", "_trstar")
+
+    def __init__(self, oid: int, polygon: Polygon):
+        self.oid = oid
+        self.polygon = polygon
+        self._approximations: Dict[str, Approximation] = {}
+        self._trstar: Dict[int, TRStarTree] = {}
+
+    def approximation(self, kind: str) -> Approximation:
+        """The (cached) approximation of the given kind."""
+        approx = self._approximations.get(kind)
+        if approx is None:
+            approx = compute_approximation(self.polygon, kind)
+            self._approximations[kind] = approx
+        return approx
+
+    def trstar(self, max_entries: int = 3) -> TRStarTree:
+        """The (cached) TR*-tree representation."""
+        tree = self._trstar.get(max_entries)
+        if tree is None:
+            tree = build_trstar(self.polygon, max_entries=max_entries)
+            self._trstar[max_entries] = tree
+        return tree
+
+    @property
+    def mbr(self) -> Rect:
+        return self.polygon.mbr()
+
+    def __repr__(self) -> str:
+        return f"SpatialObject({self.oid}, {self.polygon!r})"
+
+
+class SpatialRelation:
+    """An ordered collection of spatial objects."""
+
+    def __init__(self, name: str, polygons: Iterable[Polygon]):
+        self.name = name
+        self.objects: List[SpatialObject] = [
+            SpatialObject(i, poly) for i, poly in enumerate(polygons)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self):
+        return iter(self.objects)
+
+    def __getitem__(self, idx: int) -> SpatialObject:
+        return self.objects[idx]
+
+    def polygons(self) -> List[Polygon]:
+        return [obj.polygon for obj in self.objects]
+
+    def mbr_items(self) -> List[Tuple[Rect, SpatialObject]]:
+        return [(obj.mbr, obj) for obj in self.objects]
+
+    def statistics(self) -> Dict[str, float]:
+        """#objects, m∅, mmin, mmax (paper Figure 2)."""
+        return relation_statistics(self.polygons())
+
+    def build_rtree(
+        self,
+        max_entries: int = 32,
+        directory_max: Optional[int] = None,
+        bulk: bool = False,
+    ) -> RStarTree:
+        """R*-tree over the objects' MBRs."""
+        if bulk:
+            return RStarTree.bulk_load(
+                self.mbr_items(),
+                max_entries=max_entries,
+                directory_max=directory_max,
+            )
+        tree = RStarTree(max_entries=max_entries, directory_max=directory_max)
+        for rect, obj in self.mbr_items():
+            tree.insert(rect, obj)
+        return tree
+
+    def precompute_approximations(self, kinds: Sequence[str]) -> None:
+        """Force computation of the given approximation kinds."""
+        for obj in self.objects:
+            for kind in kinds:
+                obj.approximation(kind)
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return (
+            f"SpatialRelation({self.name!r}, objects={stats['objects']}, "
+            f"m_avg={stats['m_avg']:.1f})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The two reference relations of the paper (synthetic stand-ins).
+# ---------------------------------------------------------------------------
+
+#: Figure 2 statistics of the paper's real relations.
+EUROPE_PROFILE = {"objects": 810, "m_avg": 84, "m_min": 4, "m_max": 869}
+BW_PROFILE = {"objects": 374, "m_avg": 527, "m_min": 6, "m_max": 2087}
+
+_CACHE: Dict[Tuple[str, int, Optional[int]], SpatialRelation] = {}
+
+
+def europe(seed: int = 1994, size: Optional[int] = None) -> SpatialRelation:
+    """Synthetic stand-in for the paper's *Europe* relation.
+
+    ``size`` overrides the object count (the vertex statistics stay
+    Europe-like); used by scaled-down CI runs.
+    """
+    key = ("Europe", seed, size)
+    if key not in _CACHE:
+        n = size if size is not None else EUROPE_PROFILE["objects"]
+        polys = cartographic_polygons(
+            n_objects=n,
+            mean_vertices=EUROPE_PROFILE["m_avg"],
+            min_vertices=EUROPE_PROFILE["m_min"],
+            max_vertices=EUROPE_PROFILE["m_max"],
+            roughness=0.24,
+            seed=seed,
+        )
+        _CACHE[key] = SpatialRelation("Europe", polys)
+    return _CACHE[key]
+
+
+def bw(seed: int = 1994, size: Optional[int] = None) -> SpatialRelation:
+    """Synthetic stand-in for the paper's *BW* relation."""
+    key = ("BW", seed, size)
+    if key not in _CACHE:
+        n = size if size is not None else BW_PROFILE["objects"]
+        polys = cartographic_polygons(
+            n_objects=n,
+            mean_vertices=BW_PROFILE["m_avg"],
+            min_vertices=BW_PROFILE["m_min"],
+            max_vertices=BW_PROFILE["m_max"],
+            roughness=0.26,
+            seed=seed + 1,
+        )
+        _CACHE[key] = SpatialRelation("BW", polys)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop memoised relations (tests that need fresh instances)."""
+    _CACHE.clear()

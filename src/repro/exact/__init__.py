@@ -1,0 +1,53 @@
+"""Exact geometry processors (paper §4): quadratic, plane sweep, TR*."""
+
+from .bruteforce import point_in_polygon_counted, polygons_intersect_quadratic
+from .costmodel import (
+    EDGE_INTERSECTION,
+    EDGE_LINE,
+    EDGE_RECT,
+    PAPER_WEIGHTS,
+    POSITION,
+    RECT_INTERSECTION,
+    TRAPEZOID_INTERSECTION,
+    OperationCounter,
+    measure_host_weights,
+)
+from .decomposition import (
+    convex_decomposition,
+    ear_clipping_triangulation,
+    trapezoid_decomposition,
+    triangle_decomposition,
+)
+from .planesweep import polygons_intersect_planesweep
+from .trstar_test import TRStarObject, build_trstar, polygons_intersect_trstar
+
+from .reporting_sweep import (
+    polygon_pair_intersections,
+    quadratic_intersections,
+    report_intersections,
+)
+
+__all__ = [
+    "polygon_pair_intersections",
+    "quadratic_intersections",
+    "report_intersections",
+    "EDGE_INTERSECTION",
+    "EDGE_LINE",
+    "EDGE_RECT",
+    "OperationCounter",
+    "PAPER_WEIGHTS",
+    "POSITION",
+    "RECT_INTERSECTION",
+    "TRAPEZOID_INTERSECTION",
+    "TRStarObject",
+    "build_trstar",
+    "convex_decomposition",
+    "ear_clipping_triangulation",
+    "measure_host_weights",
+    "point_in_polygon_counted",
+    "polygons_intersect_planesweep",
+    "polygons_intersect_quadratic",
+    "polygons_intersect_trstar",
+    "trapezoid_decomposition",
+    "triangle_decomposition",
+]

@@ -1,0 +1,170 @@
+"""Circles: value type, Welzl's minimum enclosing circle, predicates.
+
+The MBC conservative approximation (§3.2) and the MEC progressive
+approximation (§3.3) are circles; the paper computes the MBC with the
+randomised expected-linear algorithm of [Wel 91], reproduced here.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from .predicates import EPSILON, Coord, distance
+from .rectangle import Rect
+
+
+class Circle:
+    """Closed disk with ``center`` and ``radius``."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: Coord, radius: float):
+        if radius < 0:
+            raise ValueError(f"negative radius: {radius}")
+        self.center = (float(center[0]), float(center[1]))
+        self.radius = float(radius)
+
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    def mbr(self) -> Rect:
+        cx, cy = self.center
+        r = self.radius
+        return Rect(cx - r, cy - r, cx + r, cy + r)
+
+    def contains_point(self, p: Coord, tol: float = 1e-9) -> bool:
+        return distance(self.center, p) <= self.radius + tol
+
+    def intersects_circle(self, other: "Circle") -> bool:
+        return distance(self.center, other.center) <= self.radius + other.radius
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        cx, cy = self.center
+        dx = max(rect.xmin - cx, 0.0, cx - rect.xmax)
+        dy = max(rect.ymin - cy, 0.0, cy - rect.ymax)
+        return dx * dx + dy * dy <= self.radius * self.radius
+
+    def intersection_area_circle(self, other: "Circle") -> float:
+        """Area of the lens formed by two intersecting disks."""
+        d = distance(self.center, other.center)
+        r1, r2 = self.radius, other.radius
+        if d >= r1 + r2:
+            return 0.0
+        if d <= abs(r1 - r2):
+            r = min(r1, r2)
+            return math.pi * r * r
+        # Standard circle-circle intersection area formula.
+        alpha = math.acos(
+            max(-1.0, min(1.0, (d * d + r1 * r1 - r2 * r2) / (2 * d * r1)))
+        )
+        beta = math.acos(
+            max(-1.0, min(1.0, (d * d + r2 * r2 - r1 * r1) / (2 * d * r2)))
+        )
+        return (
+            r1 * r1 * (alpha - math.sin(2 * alpha) / 2)
+            + r2 * r2 * (beta - math.sin(2 * beta) / 2)
+        )
+
+    def boundary_points(self, n: int = 32) -> List[Coord]:
+        """Regular sample of the boundary (used for polygonisation)."""
+        cx, cy = self.center
+        return [
+            (
+                cx + self.radius * math.cos(2 * math.pi * i / n),
+                cy + self.radius * math.sin(2 * math.pi * i / n),
+            )
+            for i in range(n)
+        ]
+
+    def __repr__(self) -> str:
+        return f"Circle(({self.center[0]:.6g}, {self.center[1]:.6g}), r={self.radius:.6g})"
+
+
+# ---------------------------------------------------------------------------
+# Welzl's minimum enclosing circle
+# ---------------------------------------------------------------------------
+
+
+def _circle_from_two(a: Coord, b: Coord) -> Circle:
+    center = ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+    return Circle(center, distance(a, b) / 2.0)
+
+
+def _circle_from_three(a: Coord, b: Coord, c: Coord) -> Optional[Circle]:
+    ax, ay = a
+    bx, by = b
+    cx, cy = c
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if abs(d) <= EPSILON:
+        return None
+    ux = (
+        (ax * ax + ay * ay) * (by - cy)
+        + (bx * bx + by * by) * (cy - ay)
+        + (cx * cx + cy * cy) * (ay - by)
+    ) / d
+    uy = (
+        (ax * ax + ay * ay) * (cx - bx)
+        + (bx * bx + by * by) * (ax - cx)
+        + (cx * cx + cy * cy) * (bx - ax)
+    ) / d
+    center = (ux, uy)
+    return Circle(center, distance(center, a))
+
+
+def _trivial_circle(boundary: List[Coord]) -> Circle:
+    if not boundary:
+        return Circle((0.0, 0.0), 0.0)
+    if len(boundary) == 1:
+        return Circle(boundary[0], 0.0)
+    if len(boundary) == 2:
+        return _circle_from_two(boundary[0], boundary[1])
+    c = _circle_from_three(boundary[0], boundary[1], boundary[2])
+    if c is not None:
+        return c
+    # Collinear triple: widest pair.
+    best = _circle_from_two(boundary[0], boundary[1])
+    for i in range(3):
+        for j in range(i + 1, 3):
+            cand = _circle_from_two(boundary[i], boundary[j])
+            if cand.radius > best.radius:
+                best = cand
+    return best
+
+
+def minimum_enclosing_circle(
+    points: Sequence[Coord], rng: Optional[random.Random] = None
+) -> Circle:
+    """Smallest enclosing circle of a point set (Welzl, expected O(n)).
+
+    Implemented iteratively (Welzl's move-to-front variant) to avoid
+    Python recursion limits on the paper-sized polygons (up to ~2000
+    vertices in relation BW).
+    """
+    pts = [(float(x), float(y)) for x, y in points]
+    if not pts:
+        raise ValueError("minimum_enclosing_circle: empty point set")
+    rng = rng or random.Random(0x5EED)
+    rng.shuffle(pts)
+
+    tol = 1e-9
+    circle = Circle(pts[0], 0.0)
+    for i in range(1, len(pts)):
+        p = pts[i]
+        if circle.contains_point(p, tol):
+            continue
+        # p must be on the boundary.
+        circle = Circle(p, 0.0)
+        for j in range(i):
+            q = pts[j]
+            if circle.contains_point(q, tol):
+                continue
+            circle = _circle_from_two(p, q)
+            for k in range(j):
+                r = pts[k]
+                if circle.contains_point(r, tol):
+                    continue
+                c3 = _circle_from_three(p, q, r)
+                circle = c3 if c3 is not None else _trivial_circle([p, q, r])
+    return circle

@@ -1,0 +1,235 @@
+"""Ellipses and the minimum-volume enclosing ellipse.
+
+The MBE conservative approximation (§3.2) stores 5 parameters.  The paper
+uses the randomised algorithm of [Wel 91]; we use the Khachiyan iteration
+(equivalent result, deterministic) applied to the convex-hull vertices.
+
+An ellipse is represented as ``(x - c)^T A (x - c) <= 1`` with ``A``
+symmetric positive definite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .convex import convex_hull
+from .predicates import Coord
+from .rectangle import Rect
+
+
+class Ellipse:
+    """Closed ellipse ``(x - c)^T A (x - c) <= 1``."""
+
+    __slots__ = ("center", "matrix", "_axes")
+
+    def __init__(self, center: Coord, matrix: np.ndarray):
+        self.center = (float(center[0]), float(center[1]))
+        mat = np.asarray(matrix, dtype=float)
+        if mat.shape != (2, 2):
+            raise ValueError("ellipse matrix must be 2x2")
+        self.matrix = (mat + mat.T) / 2.0
+        self._axes: Optional[Tuple[float, float, np.ndarray]] = None
+
+    # -- derived quantities ---------------------------------------------------
+
+    def _eig(self) -> Tuple[float, float, np.ndarray]:
+        """Semi-axes ``(a, b)`` and rotation matrix ``R`` (columns = axes)."""
+        if self._axes is None:
+            vals, vecs = np.linalg.eigh(self.matrix)
+            vals = np.maximum(vals, 1e-30)
+            a = 1.0 / math.sqrt(vals[0])
+            b = 1.0 / math.sqrt(vals[1])
+            self._axes = (a, b, vecs)
+        return self._axes
+
+    @property
+    def semi_axes(self) -> Tuple[float, float]:
+        a, b, _ = self._eig()
+        return (max(a, b), min(a, b))
+
+    def area(self) -> float:
+        det = float(np.linalg.det(self.matrix))
+        if det <= 0:
+            return math.inf
+        return math.pi / math.sqrt(det)
+
+    def mbr(self) -> Rect:
+        inv = np.linalg.inv(self.matrix)
+        hw = math.sqrt(max(inv[0, 0], 0.0))
+        hh = math.sqrt(max(inv[1, 1], 0.0))
+        cx, cy = self.center
+        return Rect(cx - hw, cy - hh, cx + hw, cy + hh)
+
+    # -- predicates -------------------------------------------------------------
+
+    def contains_point(self, p: Coord, tol: float = 1e-9) -> bool:
+        d = np.array([p[0] - self.center[0], p[1] - self.center[1]])
+        return float(d @ self.matrix @ d) <= 1.0 + tol
+
+    def boundary_points(self, n: int = 64) -> List[Coord]:
+        a, b, vecs = self._eig()
+        cx, cy = self.center
+        out: List[Coord] = []
+        for i in range(n):
+            t = 2 * math.pi * i / n
+            local = vecs @ np.array([a * math.cos(t), b * math.sin(t)])
+            out.append((cx + float(local[0]), cy + float(local[1])))
+        return out
+
+    def intersects_ellipse(self, other: "Ellipse", tol: float = 1e-9) -> bool:
+        """True if the closed ellipses share a point.
+
+        Strategy: map ``self`` to the unit disk by an affine transform and
+        test whether the transformed ``other`` comes within distance 1 of
+        the origin (coarse angular sampling refined by golden-section
+        search; accurate far beyond filter needs).
+        """
+        if self.contains_point(other.center, tol) or other.contains_point(
+            self.center, tol
+        ):
+            return True
+        # Affine map: y = L^T (x - c_self) turns self into the unit disk,
+        # where A_self = L L^T (Cholesky).
+        try:
+            chol = np.linalg.cholesky(self.matrix)
+        except np.linalg.LinAlgError:
+            return self.mbr().intersects(other.mbr())
+        lt = chol.T
+        lt_inv = np.linalg.inv(lt)
+        center_b = lt @ np.array(
+            [other.center[0] - self.center[0], other.center[1] - self.center[1]]
+        )
+        mat_b = lt_inv.T @ other.matrix @ lt_inv
+        mapped = Ellipse((float(center_b[0]), float(center_b[1])), mat_b)
+        return _min_dist_to_origin(mapped) <= 1.0 + tol
+
+    def __repr__(self) -> str:
+        a, b = self.semi_axes
+        return (
+            f"Ellipse(({self.center[0]:.6g}, {self.center[1]:.6g}), "
+            f"a={a:.6g}, b={b:.6g})"
+        )
+
+
+def _min_dist_to_origin(ell: Ellipse, samples: int = 96) -> float:
+    """Minimum distance from the origin to the boundary of ``ell``."""
+    a, b, vecs = ell._eig()
+    cx, cy = ell.center
+
+    def dist(t: float) -> float:
+        local = vecs @ np.array([a * math.cos(t), b * math.sin(t)])
+        return math.hypot(cx + float(local[0]), cy + float(local[1]))
+
+    best_t = 0.0
+    best_d = math.inf
+    for i in range(samples):
+        t = 2 * math.pi * i / samples
+        d = dist(t)
+        if d < best_d:
+            best_d = d
+            best_t = t
+    # Golden-section refinement around the best sample.
+    span = 2 * math.pi / samples
+    lo, hi = best_t - span, best_t + span
+    phi = (math.sqrt(5) - 1) / 2
+    c = hi - phi * (hi - lo)
+    d_ = lo + phi * (hi - lo)
+    for _ in range(60):
+        if dist(c) < dist(d_):
+            hi = d_
+        else:
+            lo = c
+        c = hi - phi * (hi - lo)
+        d_ = lo + phi * (hi - lo)
+    return min(best_d, dist((lo + hi) / 2))
+
+
+def minimum_enclosing_ellipse(
+    points: Sequence[Coord], tolerance: float = 1e-5, max_iter: int = 2000
+) -> Ellipse:
+    """Minimum-volume enclosing ellipse (Khachiyan's algorithm).
+
+    Operates on the convex hull for speed; the returned ellipse is
+    inflated by the iteration tolerance so that containment of every
+    input point is guaranteed (a requirement for a *conservative*
+    approximation).
+    """
+    all_pts = [(float(x), float(y)) for x, y in points]
+    hull = convex_hull(all_pts)
+    if len(hull) == 0:
+        raise ValueError("minimum_enclosing_ellipse: empty point set")
+    if len(hull) == 1:
+        return Ellipse(hull[0], np.eye(2) * 1e20)
+    if len(hull) == 2:
+        return _inflate_to_cover(
+            _ellipse_from_segment(hull[0], hull[1]), np.array(all_pts)
+        )
+
+    pts = np.array(hull, dtype=float)
+    n = len(pts)
+    q = np.vstack([pts.T, np.ones(n)])  # 3 x n
+    u = np.full(n, 1.0 / n)
+    for _ in range(max_iter):
+        x = q @ np.diag(u) @ q.T
+        try:
+            inv_x = np.linalg.inv(x)
+        except np.linalg.LinAlgError:
+            x += np.eye(3) * 1e-12
+            inv_x = np.linalg.inv(x)
+        m = np.einsum("ij,ji->i", q.T @ inv_x, q)
+        j = int(np.argmax(m))
+        max_m = m[j]
+        step = (max_m - 3.0) / (3.0 * (max_m - 1.0))
+        new_u = (1 - step) * u
+        new_u[j] += step
+        if np.linalg.norm(new_u - u) < tolerance:
+            u = new_u
+            break
+        u = new_u
+
+    center_vec = pts.T @ u
+    cov = pts.T @ np.diag(u) @ pts - np.outer(center_vec, center_vec)
+    try:
+        mat = np.linalg.inv(cov) / 2.0
+    except np.linalg.LinAlgError:
+        return _ellipse_from_segment(
+            tuple(pts[0]), tuple(pts[-1])
+        )
+    ell = Ellipse((float(center_vec[0]), float(center_vec[1])), mat)
+    # Inflate until every original input point is covered — not just the
+    # hull vertices: the hull construction may drop near-collinear points
+    # that a conservative approximation must still contain.
+    return _inflate_to_cover(ell, np.array(all_pts))
+
+
+def _inflate_to_cover(ell: Ellipse, pts: np.ndarray) -> Ellipse:
+    """Scale the ellipse outward until it contains every point."""
+    center = np.array(ell.center)
+    diffs = pts - center
+    values = np.einsum("ij,jk,ik->i", diffs, ell.matrix, diffs)
+    scale = float(np.nanmax(values, initial=1.0))
+    if not math.isfinite(scale):
+        # Pathological aspect ratio: fall back to an enclosing circle.
+        radius = float(np.sqrt((diffs * diffs).sum(axis=1)).max()) or 1e-12
+        return Ellipse(ell.center, np.eye(2) / (radius * radius * (1 + 1e-9)))
+    if scale > 1.0:
+        return Ellipse(ell.center, ell.matrix / (scale * (1 + 1e-12)))
+    return ell
+
+
+def _ellipse_from_segment(a: Coord, b: Coord) -> Ellipse:
+    """Thin ellipse covering a segment (degenerate hull case)."""
+    cx = (a[0] + b[0]) / 2.0
+    cy = (a[1] + b[1]) / 2.0
+    half = math.hypot(b[0] - a[0], b[1] - a[1]) / 2.0
+    half = max(half, 1e-12)
+    minor = half * 1e-3
+    angle = math.atan2(b[1] - a[1], b[0] - a[0])
+    rot = np.array(
+        [[math.cos(angle), -math.sin(angle)], [math.sin(angle), math.cos(angle)]]
+    )
+    diag = np.diag([1.0 / (half * half * (1 + 1e-9)), 1.0 / (minor * minor)])
+    return Ellipse((cx, cy), rot @ diag @ rot.T)

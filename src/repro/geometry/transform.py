@@ -1,0 +1,36 @@
+"""Affine point transforms used by the synthetic-data generator.
+
+The test-series strategies of §3.1 shift (A) and shift+rotate+scale (B)
+whole relations; these helpers apply the same transforms to raw point
+lists before polygons are rebuilt.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .predicates import Coord
+
+
+def translate(points: Sequence[Coord], dx: float, dy: float) -> List[Coord]:
+    """Shift every point by ``(dx, dy)``."""
+    return [(x + dx, y + dy) for x, y in points]
+
+
+def rotate(points: Sequence[Coord], angle: float, origin: Coord) -> List[Coord]:
+    """Rotate every point by ``angle`` radians around ``origin``."""
+    ox, oy = origin
+    cos_a = math.cos(angle)
+    sin_a = math.sin(angle)
+    out: List[Coord] = []
+    for x, y in points:
+        rx, ry = x - ox, y - oy
+        out.append((ox + rx * cos_a - ry * sin_a, oy + rx * sin_a + ry * cos_a))
+    return out
+
+
+def scale(points: Sequence[Coord], factor: float, origin: Coord) -> List[Coord]:
+    """Scale every point towards/away from ``origin`` by ``factor``."""
+    ox, oy = origin
+    return [(ox + (x - ox) * factor, oy + (y - oy) * factor) for x, y in points]

@@ -1,0 +1,69 @@
+"""Shared fixtures and polygon factories for the test suite."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Polygon
+
+
+def star_polygon(
+    cx: float = 0.0,
+    cy: float = 0.0,
+    n: int = 24,
+    radius: float = 1.0,
+    irregularity: float = 0.45,
+    seed: int = 0,
+) -> Polygon:
+    """Star-shaped simple polygon with controllable complexity.
+
+    Star-shaped about its center by construction, hence always simple —
+    a convenient random-polygon factory for property tests.
+    """
+    rng = random.Random(seed)
+    points = []
+    for i in range(n):
+        angle = 2 * math.pi * i / n
+        r = radius * (1 - irregularity + irregularity * rng.random())
+        points.append((cx + r * math.cos(angle), cy + r * math.sin(angle)))
+    return Polygon(points)
+
+
+def square(cx: float, cy: float, half: float) -> Polygon:
+    return Polygon(
+        [
+            (cx - half, cy - half),
+            (cx + half, cy - half),
+            (cx + half, cy + half),
+            (cx - half, cy + half),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_europe():
+    """A 60-object Europe-like relation (session-cached for speed)."""
+    from repro.datasets import europe
+
+    return europe(size=60)
+
+
+@pytest.fixture(scope="session")
+def tiny_series(tiny_europe):
+    """Strategy-A series over the tiny relation."""
+    from repro.datasets import strategy_a
+
+    return strategy_a(tiny_europe)
+
+
+@pytest.fixture(scope="session")
+def tiny_oracle(tiny_series):
+    """Exact nested-loops join result of the tiny series."""
+    from repro.core import nested_loops_join
+
+    return set(
+        nested_loops_join(tiny_series.relation_a, tiny_series.relation_b)
+    )

@@ -1,0 +1,101 @@
+"""CLI coverage for the overlay / distance / knn / estimate commands."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def wkt_pair(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    path_a = str(tmp / "a.wkt")
+    path_b = str(tmp / "b.wkt")
+    assert main(
+        ["generate", "--objects", "25", "--vertices", "20", "--out", path_a]
+    ) == 0
+    assert main(
+        ["generate", "--objects", "25", "--vertices", "20", "--seed", "7",
+         "--out", path_b]
+    ) == 0
+    return path_a, path_b
+
+
+class TestOverlayCommand:
+    def test_overlay_runs(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(["overlay", path_a, path_b]) == 0
+        out = capsys.readouterr().out
+        assert "intersection pieces" in out
+        assert "total area" in out
+
+    def test_overlay_top_limits_output(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        main(["overlay", path_a, path_b, "--top", "2"])
+        out = capsys.readouterr().out
+        piece_lines = [l for l in out.splitlines() if " x B" in l]
+        assert len(piece_lines) <= 2
+
+
+class TestDistanceCommand:
+    def test_distance_runs(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(["distance", path_a, path_b, "--epsilon", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "within-distance join" in out
+        assert "exact tests" in out
+
+    def test_distance_pairs_flag(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        main(["distance", path_a, path_b, "--epsilon", "0.05", "--pairs"])
+        out = capsys.readouterr().out
+        pair_lines = [l for l in out.splitlines() if "\t" in l]
+        assert pair_lines  # at eps=0.05 something must match
+
+    def test_distance_requires_epsilon(self, wkt_pair):
+        path_a, path_b = wkt_pair
+        with pytest.raises(SystemExit):
+            main(["distance", path_a, path_b])
+
+
+class TestKnnCommand:
+    def test_knn_runs(self, wkt_pair, capsys):
+        path_a, _ = wkt_pair
+        assert main(["knn", path_a, "--point", "0.5", "0.5", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("mindist=") == 4
+
+    def test_knn_distances_sorted(self, wkt_pair, capsys):
+        path_a, _ = wkt_pair
+        main(["knn", path_a, "--point", "0.1", "0.9", "--k", "6"])
+        out = capsys.readouterr().out
+        dists = [
+            float(line.rsplit("mindist=", 1)[1])
+            for line in out.splitlines()
+            if "mindist=" in line
+        ]
+        assert dists == sorted(dists)
+
+
+class TestEstimateCommand:
+    def test_estimate_runs(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(["estimate", path_a, path_b]) == 0
+        out = capsys.readouterr().out
+        assert "expected candidates" in out
+        assert "expected cost" in out
+
+    def test_estimate_roughly_matches_join(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        main(["estimate", path_a, path_b])
+        est_out = capsys.readouterr().out
+        estimated = float(
+            [l for l in est_out.splitlines() if "expected candidates" in l][0]
+            .split()[-1]
+        )
+        main(["join", path_a, path_b])
+        join_out = capsys.readouterr().out
+        measured = float(
+            [l for l in join_out.splitlines() if "candidates" in l][0]
+            .split()[-1]
+        )
+        assert measured / 10 <= max(estimated, 1) <= measured * 10

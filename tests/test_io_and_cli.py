@@ -1,0 +1,128 @@
+"""Tests for WKT relation I/O and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import SpatialRelation, cartographic_polygons
+from repro.datasets.io import (
+    load_relation,
+    polygon_from_wkt,
+    polygon_to_wkt,
+    relations_equal,
+    save_relation,
+)
+from repro.geometry import Polygon
+
+
+class TestWKT:
+    def test_roundtrip_simple_polygon(self):
+        poly = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        again = polygon_from_wkt(polygon_to_wkt(poly))
+        assert again.shell == poly.shell
+
+    def test_roundtrip_with_hole(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (3, 1), (3, 3), (1, 3)]],
+        )
+        again = polygon_from_wkt(polygon_to_wkt(poly))
+        assert again.area() == pytest.approx(poly.area())
+        assert len(again.holes) == 1
+
+    def test_parse_standard_wkt(self):
+        poly = polygon_from_wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")
+        assert poly.area() == pytest.approx(4.0)
+
+    def test_parse_scientific_notation(self):
+        poly = polygon_from_wkt("POLYGON ((0 0, 1e1 0, 10 1.5e1, 0 0))")
+        assert poly.mbr().xmax == pytest.approx(10.0)
+
+    def test_reject_non_polygon(self):
+        with pytest.raises(ValueError):
+            polygon_from_wkt("LINESTRING (0 0, 1 1)")
+
+    def test_reject_malformed_pair(self):
+        with pytest.raises(ValueError):
+            polygon_from_wkt("POLYGON ((0 0 0, 1 1))")
+
+    def test_relation_roundtrip(self, tmp_path):
+        relation = SpatialRelation(
+            "round-trip", cartographic_polygons(25, 30, seed=3)
+        )
+        path = tmp_path / "rel.wkt"
+        save_relation(relation, path)
+        loaded = load_relation(path)
+        assert loaded.name == "round-trip"
+        assert relations_equal(relation, loaded, tol=1e-6)
+
+    def test_load_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "bad.wkt"
+        path.write_text("POLYGON ((0 0, 1 0, 1 1, 0 0))\nGARBAGE\n")
+        with pytest.raises(ValueError, match="bad.wkt:2"):
+            load_relation(path)
+
+
+class TestCLI:
+    @pytest.fixture()
+    def wkt_files(self, tmp_path):
+        for name, seed in (("a", 11), ("b", 12)):
+            rel = SpatialRelation(
+                name, cartographic_polygons(25, 20, seed=seed)
+            )
+            save_relation(rel, tmp_path / f"{name}.wkt")
+        return tmp_path / "a.wkt", tmp_path / "b.wkt"
+
+    def test_generate_and_info(self, tmp_path, capsys):
+        out = tmp_path / "gen.wkt"
+        assert main(
+            ["generate", "--objects", "15", "--vertices", "20",
+             "--out", str(out), "--name", "gen-test"]
+        ) == 0
+        assert main(["info", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "gen-test" in captured
+        assert "objects:  15" in captured
+
+    def test_join_command(self, wkt_files, capsys):
+        a, b = wkt_files
+        assert main(
+            ["join", str(a), str(b), "--exact", "vectorized"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "result pairs" in out
+        assert "identification rate" in out
+
+    def test_join_within_predicate(self, wkt_files, capsys):
+        a, b = wkt_files
+        assert main(
+            ["join", str(a), str(b), "--predicate", "within",
+             "--exact", "vectorized"]
+        ) == 0
+        assert "within join" in capsys.readouterr().out
+
+    def test_join_no_filter(self, wkt_files, capsys):
+        a, b = wkt_files
+        assert main(
+            ["join", str(a), str(b), "--conservative", "none",
+             "--progressive", "none", "--exact", "vectorized"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "identification rate:    0%" in out
+
+    def test_window_query_command(self, wkt_files, capsys):
+        a, _b = wkt_files
+        assert main(
+            ["query", str(a), "--window", "0.1", "0.1", "0.6", "0.6"]
+        ) == 0
+        assert "window" in capsys.readouterr().out
+
+    def test_point_query_command(self, wkt_files, capsys):
+        a, _b = wkt_files
+        assert main(["query", str(a), "--point", "0.5", "0.5"]) == 0
+        assert "point" in capsys.readouterr().out
+
+    def test_pairs_flag_lists_pairs(self, wkt_files, capsys):
+        a, b = wkt_files
+        main(["join", str(a), str(b), "--exact", "vectorized", "--pairs"])
+        out = capsys.readouterr().out
+        assert any("\t" in line for line in out.splitlines())

@@ -1,0 +1,85 @@
+"""Tests for the partitioned (parallelism-oriented) join."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    JoinConfig,
+    SpatialJoinProcessor,
+    nested_loops_join,
+    partitioned_join,
+)
+
+
+class TestPartitionedJoin:
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (3, 2), (4, 4)])
+    def test_matches_plain_join(self, tiny_series, tiny_oracle, grid):
+        result = partitioned_join(
+            tiny_series.relation_a,
+            tiny_series.relation_b,
+            grid=grid,
+            config=JoinConfig(exact_method="vectorized"),
+        )
+        assert set(result.id_pairs()) == tiny_oracle
+        # No duplicates: the reference-point rule assigns each pair once.
+        assert len(result.id_pairs()) == len(set(result.id_pairs()))
+
+    def test_invalid_grid_rejected(self, tiny_series):
+        with pytest.raises(ValueError):
+            partitioned_join(
+                tiny_series.relation_a, tiny_series.relation_b, grid=(0, 2)
+            )
+
+    def test_partition_stats_cover_grid(self, tiny_series):
+        result = partitioned_join(
+            tiny_series.relation_a,
+            tiny_series.relation_b,
+            grid=(3, 3),
+            config=JoinConfig(exact_method="vectorized"),
+        )
+        assert len(result.partitions) == 9
+        assert {p.tile for p in result.partitions} == {
+            (i, j) for i in range(3) for j in range(3)
+        }
+
+    def test_speedup_bound_reasonable(self, tiny_series):
+        result = partitioned_join(
+            tiny_series.relation_a,
+            tiny_series.relation_b,
+            grid=(2, 2),
+            config=JoinConfig(exact_method="vectorized"),
+        )
+        bound = result.parallel_speedup_bound()
+        # 4 tiles: bound in (1, 4]; uniform-ish data should parallelise.
+        assert 1.0 <= bound <= 4.0 + 1e-9
+        assert result.total_work >= result.max_tile_work
+
+    def test_replication_increases_candidate_work(self, tiny_series):
+        plain = SpatialJoinProcessor(
+            JoinConfig(exact_method="vectorized")
+        ).join(tiny_series.relation_a, tiny_series.relation_b)
+        part = partitioned_join(
+            tiny_series.relation_a,
+            tiny_series.relation_b,
+            grid=(3, 3),
+            config=JoinConfig(exact_method="vectorized"),
+        )
+        # Border objects are replicated, so the summed candidate count is
+        # at least the plain join's.
+        assert part.stats.candidate_pairs >= plain.stats.candidate_pairs
+
+    def test_finer_grid_smaller_max_tile(self, tiny_series):
+        coarse = partitioned_join(
+            tiny_series.relation_a,
+            tiny_series.relation_b,
+            grid=(1, 1),
+            config=JoinConfig(exact_method="vectorized"),
+        )
+        fine = partitioned_join(
+            tiny_series.relation_a,
+            tiny_series.relation_b,
+            grid=(4, 4),
+            config=JoinConfig(exact_method="vectorized"),
+        )
+        assert fine.max_tile_work < coarse.max_tile_work
