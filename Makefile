@@ -1,0 +1,18 @@
+# Entry points for the growing test suite and the engine benchmark.
+#
+#   make test        - full suite (tier-1 gate; includes slow fuzz tests)
+#   make test-fast   - quick suite: everything except @pytest.mark.slow
+#   make bench-engine - streaming-vs-batched engine benchmark, quick scale
+
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: test test-fast bench-engine
+
+test:
+	$(PYTEST) -x -q
+
+test-fast:
+	$(PYTEST) -x -q -m "not slow"
+
+bench-engine:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_engine_batched.py

@@ -13,6 +13,7 @@ from .base import (
     approx_intersect,
     approx_intersection_area,
 )
+from .batch import BatchApproxArrays
 from .containment import certainly_contains, certainly_not_contains
 from .factory import (
     ALL_KINDS,
@@ -42,6 +43,7 @@ from .rmbr import RMBRApproximation
 __all__ = [
     "ALL_KINDS",
     "Approximation",
+    "BatchApproxArrays",
     "CONSERVATIVE_KINDS",
     "ConvexApproximation",
     "ConvexHullApproximation",

@@ -1,0 +1,196 @@
+"""Batch encoders: pack stored approximations into numpy arrays.
+
+The batched join engine (:mod:`repro.engine.batched`) evaluates the
+geometric filter set-at-a-time.  For that it needs each approximation
+kind of the objects flowing through a join laid out as flat arrays: MBRs
+as ``(n, 4)`` rows, circles as ``(n, 3)`` rows, convex vertex lists as
+padded ``(n, W + 1)`` matrices, plus the stored false areas of §3.3.
+
+:class:`BatchApproxArrays` is that encoder.  It mirrors the paper's
+storage model — approximations are computed once per object (via the
+``SpatialObject`` cache) and then *stored*; here the store is a growing
+column layout instead of SAM pages.  Values are copied bit-for-bit from
+the scalar approximation objects (``mbr()``, ``area()``, vertex tuples),
+never re-derived, so bulk kernels operating on these arrays see exactly
+the floats the scalar filter sees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.fastops import pack_convex_rows
+
+
+def _widen_convex_rows(matrix: np.ndarray, width: int) -> np.ndarray:
+    """Pad a packed vertex matrix to ``width`` columns.
+
+    Packed rows end in copies of their first vertex (column 0), so
+    widening appends more of the same — the padding invariant of
+    :func:`~repro.geometry.fastops.pack_convex_rows` is preserved.
+    """
+    pad = np.repeat(matrix[:, :1], width - matrix.shape[1], axis=1)
+    return np.concatenate([matrix, pad], axis=1)
+
+
+class BatchApproxArrays:
+    """Array store for one approximation kind over many objects.
+
+    Objects are registered on first sight (keyed by identity — oids are
+    only unique per relation, and a join sees objects of two relations);
+    repeated lookups are pure array gathers.  Matrices are rebuilt lazily
+    after new registrations, so draining a join batch-by-batch pays the
+    packing cost once per object, not once per candidate pair.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        #: shape family of the kind: "convex", "circle" or "ellipse".
+        self.family: Optional[str] = None
+        self._row_of: Dict[int, int] = {}
+        self._objects: List[object] = []  # keeps id() keys alive
+        self._mbr_rows: List[tuple] = []
+        self._fa_rows: List[float] = []
+        self._circle_rows: List[tuple] = []
+        self._vertex_rows: List[list] = []
+        self._packed = 0  # rows already materialised in the arrays
+        self._dirty = True
+        self._mbrs = np.empty((0, 4))
+        self._false_areas = np.empty(0)
+        self._circles = np.empty((0, 3))
+        self._vx = np.empty((0, 1))
+        self._vy = np.empty((0, 1))
+        self._degenerate = np.empty(0, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # -- registration -------------------------------------------------------
+
+    def rows(self, objects: Sequence[object]) -> np.ndarray:
+        """Row indices for ``objects``, registering unseen ones."""
+        out = np.empty(len(objects), dtype=np.intp)
+        row_of = self._row_of
+        for i, obj in enumerate(objects):
+            row = row_of.get(id(obj))
+            if row is None:
+                row = self._register(obj)
+            out[i] = row
+        return out
+
+    def approximation(self, obj) -> "object":
+        return obj.approximation(self.kind)
+
+    def _register(self, obj) -> int:
+        appr = self.approximation(obj)
+        if self.family is None:
+            self.family = appr.shape_kind
+        row = len(self._objects)
+        self._row_of[id(obj)] = row
+        self._objects.append(obj)
+        m = appr.mbr()
+        self._mbr_rows.append((m.xmin, m.ymin, m.xmax, m.ymax))
+        # Stored false area of §3.3: area(Appr(obj)) - area(obj).  Summing
+        # two stored values is the exact arithmetic of the scalar test.
+        self._fa_rows.append(appr.area() - obj.polygon.area())
+        if self.family == "circle":
+            c = appr.circle()
+            self._circle_rows.append((c.center[0], c.center[1], c.radius))
+        elif self.family == "convex":
+            self._vertex_rows.append(list(appr.convex_vertices()))
+        self._dirty = True
+        return row
+
+    def _flush(self) -> None:
+        """Materialise rows registered since the last flush.
+
+        Only the new tail is converted from Python values — a join that
+        drains candidates batch-by-batch keeps registering objects
+        between classify calls, and rebuilding the full arrays each time
+        would make the packing cost quadratic in the object count.
+        """
+        if not self._dirty:
+            return
+        start = self._packed
+        new_mbrs = np.array(
+            self._mbr_rows[start:], dtype=float
+        ).reshape(-1, 4)
+        new_fas = np.array(self._fa_rows[start:], dtype=float)
+        if start == 0:
+            self._mbrs = new_mbrs
+            self._false_areas = new_fas
+        else:
+            self._mbrs = np.concatenate([self._mbrs, new_mbrs])
+            self._false_areas = np.concatenate([self._false_areas, new_fas])
+        if self.family == "circle":
+            new_circles = np.array(
+                self._circle_rows[start:], dtype=float
+            ).reshape(-1, 3)
+            self._circles = (
+                new_circles
+                if start == 0
+                else np.concatenate([self._circles, new_circles])
+            )
+        elif self.family == "convex":
+            new_vx, new_vy, counts = pack_convex_rows(
+                self._vertex_rows[start:]
+            )
+            new_degenerate = counts < 3
+            if start == 0:
+                self._vx, self._vy = new_vx, new_vy
+                self._degenerate = new_degenerate
+            else:
+                width = max(self._vx.shape[1], new_vx.shape[1])
+                if self._vx.shape[1] < width:
+                    self._vx = _widen_convex_rows(self._vx, width)
+                    self._vy = _widen_convex_rows(self._vy, width)
+                if new_vx.shape[1] < width:
+                    new_vx = _widen_convex_rows(new_vx, width)
+                    new_vy = _widen_convex_rows(new_vy, width)
+                self._vx = np.concatenate([self._vx, new_vx])
+                self._vy = np.concatenate([self._vy, new_vy])
+                self._degenerate = np.concatenate(
+                    [self._degenerate, new_degenerate]
+                )
+        self._packed = len(self._objects)
+        self._dirty = False
+
+    # -- packed columns -----------------------------------------------------
+
+    @property
+    def mbrs(self) -> np.ndarray:
+        """``(n, 4)`` approximation MBRs (xmin, ymin, xmax, ymax)."""
+        self._flush()
+        return self._mbrs
+
+    @property
+    def false_areas(self) -> np.ndarray:
+        """``(n,)`` stored false areas ``area(appr) - area(object)``."""
+        self._flush()
+        return self._false_areas
+
+    @property
+    def circles(self) -> np.ndarray:
+        """``(n, 3)`` circle parameters (cx, cy, r); circle family only."""
+        self._flush()
+        return self._circles
+
+    @property
+    def vx(self) -> np.ndarray:
+        """``(n, W + 1)`` padded vertex x-coordinates; convex family only."""
+        self._flush()
+        return self._vx
+
+    @property
+    def vy(self) -> np.ndarray:
+        """``(n, W + 1)`` padded vertex y-coordinates; convex family only."""
+        self._flush()
+        return self._vy
+
+    @property
+    def degenerate(self) -> np.ndarray:
+        """``(n,)`` mask of shapes with < 3 vertices (scalar fallback)."""
+        self._flush()
+        return self._degenerate

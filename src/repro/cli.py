@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="progressive approximation kind or 'none'")
     join.add_argument("--exact", default="trstar",
                       choices=("trstar", "planesweep", "quadratic", "vectorized"))
+    join.add_argument("--engine", default="streaming",
+                      choices=("streaming", "batched"),
+                      help="execution engine: per-pair streaming pipeline or "
+                           "vectorized batched filter (see repro.engine)")
+    join.add_argument("--batch-size", type=int, default=1024,
+                      help="candidate pairs per block for --engine batched")
     join.add_argument("--pairs", action="store_true",
                       help="print every result pair")
 
@@ -151,6 +157,8 @@ def cmd_join(args: argparse.Namespace) -> int:
         ),
         exact_method=args.exact,
         predicate=args.predicate,
+        engine=args.engine,
+        batch_size=args.batch_size,
     )
     result = SpatialJoinProcessor(config).join(rel_a, rel_b)
     stats = result.stats

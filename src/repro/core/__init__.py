@@ -60,6 +60,7 @@ from .filters import (
     geometric_filter,
 )
 from .join import (
+    ENGINES,
     EXACT_METHODS,
     JoinConfig,
     JoinResult,
@@ -85,6 +86,7 @@ __all__ = [
     "brute_force_distance_join",
     "polygon_distance",
     "within_distance_join",
+    "ENGINES",
     "EXACT_METHODS",
     "FilterConfig",
     "FilterRates",

@@ -1,14 +1,17 @@
 """The multi-step spatial join processor (paper §2.4, Figure 1).
 
-Pipelined execution of the three steps:
+Execution of the three steps:
 
 1. **MBR-join** on R*-trees over the objects' MBRs ([BKS 93a]);
 2. **geometric filter** on conservative/progressive approximations;
 3. **exact geometry** test (quadratic, plane sweep, or TR*-tree).
 
-Candidate pairs stream through the pipeline one at a time; no candidate
-set is materialised between steps (the paper's "no additional cost
-arises for handling these candidates").
+How candidate pairs flow through steps 2 and 3 is the job of an
+execution *engine* (:mod:`repro.engine`): the ``streaming`` engine pipes
+one pair at a time (the paper's "no additional cost arises for handling
+these candidates"), the ``batched`` engine drains candidates in blocks
+and runs the filter as numpy array operations.  Both produce identical
+results and statistics; :class:`JoinConfig.engine` selects one.
 """
 
 from __future__ import annotations
@@ -17,18 +20,16 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from ..datasets.relations import SpatialObject, SpatialRelation
-from ..exact import (
-    polygons_intersect_planesweep,
-    polygons_intersect_quadratic,
-    polygons_intersect_trstar,
-)
 from ..geometry.fastops import polygons_intersect_fast
-from ..index import AccessCounter, LRUBuffer, RStarTree, rstar_join
-from .filters import FilterConfig, FilterOutcome, geometric_filter
+from .filters import FilterConfig
 from .stats import MultiStepStats
 
 #: exact-geometry processor names accepted by :class:`JoinConfig`.
 EXACT_METHODS = ("trstar", "planesweep", "quadratic", "vectorized")
+
+#: execution engine names accepted by :class:`JoinConfig` (see
+#: :mod:`repro.engine` for the execution models).
+ENGINES = ("streaming", "batched")
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,11 @@ class JoinConfig:
     #: join predicate: 'intersects' (the paper's focus) or 'within'
     #: ("a in b", the paper's forests-in-cities example).
     predicate: str = "intersects"
+    #: execution engine: 'streaming' (per-pair) or 'batched' (vectorized
+    #: filter over candidate blocks); see :mod:`repro.engine`.
+    engine: str = "streaming"
+    #: candidate pairs drained per block by the batched engine.
+    batch_size: int = 1024
 
     def __post_init__(self):
         if self.exact_method not in EXACT_METHODS:
@@ -61,6 +67,15 @@ class JoinConfig:
             raise ValueError(
                 f"unknown predicate {self.predicate!r}; "
                 "expected 'intersects' or 'within'"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {ENGINES}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
             )
 
 
@@ -108,68 +123,12 @@ class SpatialJoinProcessor:
         relation_b: SpatialRelation,
         stats: MultiStepStats,
     ) -> Iterator[Tuple[SpatialObject, SpatialObject]]:
-        cfg = self.config
-        counter_a = counter_b = None
-        if cfg.buffer_pages is not None:
-            buffer = LRUBuffer(cfg.buffer_pages)
-            counter_a = AccessCounter(buffer=buffer)
-            counter_b = AccessCounter(buffer=buffer)
-        tree_a = self._build_tree(relation_a)
-        tree_b = self._build_tree(relation_b)
+        # Imported lazily: repro.engine pulls in the concrete engines,
+        # which themselves import from repro.core.
+        from ..engine import create_engine
 
-        within = cfg.predicate == "within"
-        if within:
-            from .within import within_exact, within_filter
-
-        for obj_a, obj_b in rstar_join(
-            tree_a, tree_b, counter_a, counter_b, stats.mbr_join
-        ):
-            stats.candidate_pairs += 1
-            if within:
-                outcome = within_filter(obj_a, obj_b, cfg.filter, stats)
-            else:
-                outcome = geometric_filter(obj_a, obj_b, cfg.filter, stats)
-            if outcome is FilterOutcome.FALSE_HIT:
-                continue
-            if outcome is FilterOutcome.HIT:
-                yield (obj_a, obj_b)
-                continue
-            stats.remaining_candidates += 1
-            if within:
-                qualified = within_exact(obj_a, obj_b)
-            else:
-                qualified = self._exact_test(obj_a, obj_b, stats)
-            if qualified:
-                stats.exact_hits += 1
-                yield (obj_a, obj_b)
-            else:
-                stats.exact_false_hits += 1
-
-    def _build_tree(self, relation: SpatialRelation) -> RStarTree:
-        return relation.build_rtree(max_entries=self.config.rtree_max_entries)
-
-    def _exact_test(
-        self, obj_a: SpatialObject, obj_b: SpatialObject, stats: MultiStepStats
-    ) -> bool:
-        cfg = self.config
-        if cfg.exact_method == "trstar":
-            return polygons_intersect_trstar(
-                obj_a.trstar(cfg.trstar_max_entries),
-                obj_b.trstar(cfg.trstar_max_entries),
-                stats.exact_ops,
-            )
-        if cfg.exact_method == "planesweep":
-            return polygons_intersect_planesweep(
-                obj_a.polygon,
-                obj_b.polygon,
-                stats.exact_ops,
-                restrict_search_space=cfg.restrict_search_space,
-            )
-        if cfg.exact_method == "quadratic":
-            return polygons_intersect_quadratic(
-                obj_a.polygon, obj_b.polygon, stats.exact_ops
-            )
-        return polygons_intersect_fast(obj_a.polygon, obj_b.polygon)
+        engine = create_engine(self.config)
+        yield from engine.execute(relation_a, relation_b, stats)
 
 
 def nested_loops_join(

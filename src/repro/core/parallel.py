@@ -23,7 +23,7 @@ Python process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from ..datasets.relations import SpatialRelation
@@ -138,14 +138,21 @@ def simulate_parallel_join(
     grid: Tuple[int, int] = (4, 4),
     processor_counts: Sequence[int] = (1, 2, 4, 8),
     config: Optional[JoinConfig] = None,
+    engine: Optional[str] = None,
 ) -> ParallelJoinReport:
     """Partition, join, and simulate execution on each processor count.
 
     The returned report's join result is identical to the plain
     multi-step join (the partitioning is result-transparent); the
     simulations quantify §6's parallelism outlook under the §5 cost
-    constants.
+    constants.  ``engine`` overrides the execution engine the simulated
+    processors run for their tile-local joins (``"streaming"`` or
+    ``"batched"``, see :mod:`repro.engine`); the tile decomposition and
+    the simulated cost model are engine-independent.
     """
+    config = config or JoinConfig()
+    if engine is not None:
+        config = replace(config, engine=engine)
     result = partitioned_join(relation_a, relation_b, grid=grid, config=config)
     costs = tile_costs(result.partitions)
     simulations = [(p, schedule_lpt(costs, p)) for p in processor_counts]

@@ -55,6 +55,38 @@ class MultiStepStats:
     def total_false_hits(self) -> int:
         return self.filter_false_hits + self.exact_false_hits
 
+    @property
+    def exact_tests(self) -> int:
+        """Candidate pairs actually resolved by the exact processor."""
+        return self.exact_hits + self.exact_false_hits
+
+    def check_invariants(self) -> None:
+        """Assert the Figure-1 flow conservation of the counters.
+
+        Every MBR-join candidate is classified exactly once: filter hit,
+        filter false hit, or remaining candidate; and every remaining
+        candidate is resolved by exactly one exact test.  Holds for every
+        engine and every filter configuration after a completed join.
+        """
+        assert (
+            self.filter_hits + self.filter_false_hits + self.remaining_candidates
+            == self.candidate_pairs
+        ), (
+            f"filter counters leak candidates: {self.filter_hits} hits + "
+            f"{self.filter_false_hits} false hits + "
+            f"{self.remaining_candidates} remaining != "
+            f"{self.candidate_pairs} candidates"
+        )
+        assert self.exact_tests == self.remaining_candidates, (
+            f"exact counters leak candidates: {self.exact_hits} hits + "
+            f"{self.exact_false_hits} false hits != "
+            f"{self.remaining_candidates} remaining candidates"
+        )
+        assert self.mbr_join.output_pairs == self.candidate_pairs, (
+            f"MBR-join reported {self.mbr_join.output_pairs} pairs but "
+            f"{self.candidate_pairs} entered the filter"
+        )
+
     def identification_rate(self) -> float:
         if self.candidate_pairs == 0:
             return 0.0

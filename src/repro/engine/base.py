@@ -1,0 +1,124 @@
+"""The :class:`Engine` abstraction shared by both execution backends.
+
+An engine owns steps 2 and 3 of the multi-step join for one
+:class:`~repro.core.join.JoinConfig`: it consumes the candidate stream
+of the R*-tree MBR-join and decides, per pair, hit / false hit / exact
+test.  Step 1 (tree building, I/O accounting, the synchronised traversal)
+is identical for every engine and lives here in :meth:`Engine.execute`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Iterator, Tuple
+
+from ..core.join import ENGINES, JoinConfig
+from ..core.stats import MultiStepStats
+from ..datasets.relations import SpatialObject, SpatialRelation
+from ..exact import (
+    polygons_intersect_planesweep,
+    polygons_intersect_quadratic,
+    polygons_intersect_trstar,
+)
+from ..geometry.fastops import polygons_intersect_fast
+from ..index import AccessCounter, LRUBuffer, rstar_join
+
+Pair = Tuple[SpatialObject, SpatialObject]
+
+
+class Engine(ABC):
+    """One execution strategy for steps 2 and 3 of the multi-step join."""
+
+    #: engine name as used by ``JoinConfig.engine`` and the CLI.
+    name: ClassVar[str] = "?"
+
+    def __init__(self, config: JoinConfig = None):
+        self.config = config if config is not None else JoinConfig()
+
+    # -- step 1 (shared) ----------------------------------------------------
+
+    def execute(
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        stats: MultiStepStats,
+    ) -> Iterator[Pair]:
+        """Run the full three-step join, yielding result pairs."""
+        cfg = self.config
+        counter_a = counter_b = None
+        if cfg.buffer_pages is not None:
+            buffer = LRUBuffer(cfg.buffer_pages)
+            counter_a = AccessCounter(buffer=buffer)
+            counter_b = AccessCounter(buffer=buffer)
+        tree_a = relation_a.build_rtree(max_entries=cfg.rtree_max_entries)
+        tree_b = relation_b.build_rtree(max_entries=cfg.rtree_max_entries)
+        candidates = rstar_join(
+            tree_a, tree_b, counter_a, counter_b, stats.mbr_join
+        )
+        return self.process(candidates, stats)
+
+    # -- steps 2 + 3 (strategy) ---------------------------------------------
+
+    @abstractmethod
+    def process(
+        self, candidates: Iterator[Pair], stats: MultiStepStats
+    ) -> Iterator[Pair]:
+        """Classify the candidate stream; yield the qualifying pairs."""
+
+    # -- step 3 helpers (shared) --------------------------------------------
+
+    def resolve_exact(
+        self, obj_a: SpatialObject, obj_b: SpatialObject, stats: MultiStepStats
+    ) -> bool:
+        """Run the exact step on one remaining candidate, updating stats."""
+        stats.remaining_candidates += 1
+        if self.config.predicate == "within":
+            from ..core.within import within_exact
+
+            qualified = within_exact(obj_a, obj_b)
+        else:
+            qualified = self.exact_test(obj_a, obj_b, stats)
+        if qualified:
+            stats.exact_hits += 1
+        else:
+            stats.exact_false_hits += 1
+        return qualified
+
+    def exact_test(
+        self, obj_a: SpatialObject, obj_b: SpatialObject, stats: MultiStepStats
+    ) -> bool:
+        """Exact intersection test with the configured processor."""
+        cfg = self.config
+        if cfg.exact_method == "trstar":
+            return polygons_intersect_trstar(
+                obj_a.trstar(cfg.trstar_max_entries),
+                obj_b.trstar(cfg.trstar_max_entries),
+                stats.exact_ops,
+            )
+        if cfg.exact_method == "planesweep":
+            return polygons_intersect_planesweep(
+                obj_a.polygon,
+                obj_b.polygon,
+                stats.exact_ops,
+                restrict_search_space=cfg.restrict_search_space,
+            )
+        if cfg.exact_method == "quadratic":
+            return polygons_intersect_quadratic(
+                obj_a.polygon, obj_b.polygon, stats.exact_ops
+            )
+        return polygons_intersect_fast(obj_a.polygon, obj_b.polygon)
+
+
+def create_engine(config: JoinConfig = None) -> Engine:
+    """Instantiate the engine selected by ``config.engine``."""
+    from .batched import BatchedEngine
+    from .streaming import StreamingEngine
+
+    config = config if config is not None else JoinConfig()
+    if config.engine == StreamingEngine.name:
+        return StreamingEngine(config)
+    if config.engine == BatchedEngine.name:
+        return BatchedEngine(config)
+    raise ValueError(
+        f"unknown engine {config.engine!r}; expected one of {ENGINES}"
+    )

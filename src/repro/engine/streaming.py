@@ -1,0 +1,45 @@
+"""Per-pair (tuple-at-a-time) execution — the paper's original pipeline.
+
+Candidate pairs stream through the geometric filter and the exact
+processor one at a time; no candidate set is materialised between steps
+(§2.4: "no additional cost arises for handling these candidates").  This
+is the code that used to live inside
+:class:`repro.core.join.SpatialJoinProcessor`, extracted unchanged so it
+can serve as the reference backend for the differential-testing harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.filters import FilterOutcome, geometric_filter
+from ..core.stats import MultiStepStats
+from .base import Engine, Pair
+
+
+class StreamingEngine(Engine):
+    """Tuple-at-a-time pipeline over the MBR-join candidate stream."""
+
+    name = "streaming"
+
+    def process(
+        self, candidates: Iterator[Pair], stats: MultiStepStats
+    ) -> Iterator[Pair]:
+        cfg = self.config
+        within = cfg.predicate == "within"
+        if within:
+            from ..core.within import within_filter
+
+        for obj_a, obj_b in candidates:
+            stats.candidate_pairs += 1
+            if within:
+                outcome = within_filter(obj_a, obj_b, cfg.filter, stats)
+            else:
+                outcome = geometric_filter(obj_a, obj_b, cfg.filter, stats)
+            if outcome is FilterOutcome.FALSE_HIT:
+                continue
+            if outcome is FilterOutcome.HIT:
+                yield (obj_a, obj_b)
+                continue
+            if self.resolve_exact(obj_a, obj_b, stats):
+                yield (obj_a, obj_b)

@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from .polygon import Polygon
-from .predicates import Coord
+from .predicates import EPSILON, Coord
 
 
 class EdgeArrays:
@@ -244,6 +244,132 @@ def polygon_within_fast(inner: Polygon, outer: Polygon) -> bool:
         if inner_edges.contains_point(hx, hy):
             return False
     return True
+
+
+# ---------------------------------------------------------------------------
+# Bulk (set-at-a-time) kernels for the batched join engine.
+#
+# Each kernel is the array counterpart of one scalar predicate used by the
+# geometric filter and replicates its arithmetic operation-for-operation, so
+# the batched engine classifies every candidate pair exactly as the
+# streaming engine does (see ``repro.engine``).  Rectangles are rows of
+# ``(xmin, ymin, xmax, ymax)``; circles are rows of ``(cx, cy, r)``.
+# ---------------------------------------------------------------------------
+
+
+def rects_intersect_bulk(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise closed-rectangle overlap — bulk ``Rect.intersects``."""
+    return (
+        (a[:, 0] <= b[:, 2])
+        & (b[:, 0] <= a[:, 2])
+        & (a[:, 1] <= b[:, 3])
+        & (b[:, 1] <= a[:, 3])
+    )
+
+
+def rects_contain_bulk(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Row-wise rectangle containment — bulk ``Rect.contains_rect``."""
+    return (
+        (outer[:, 0] <= inner[:, 0])
+        & (outer[:, 1] <= inner[:, 1])
+        & (inner[:, 2] <= outer[:, 2])
+        & (inner[:, 3] <= outer[:, 3])
+    )
+
+
+def rects_intersection_area_bulk(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise intersection area — bulk ``Rect.intersection_area``."""
+    w = np.minimum(a[:, 2], b[:, 2]) - np.maximum(a[:, 0], b[:, 0])
+    h = np.minimum(a[:, 3], b[:, 3]) - np.maximum(a[:, 1], b[:, 1])
+    return np.where((w > 0.0) & (h > 0.0), w * h, 0.0)
+
+
+def circle_slack_bulk(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise ``(r_a + r_b) - centre_distance`` for circle rows.
+
+    The circles of row ``i`` intersect iff ``slack[i] >= 0`` (the scalar
+    test is ``distance <= r_a + r_b``).  ``numpy.hypot`` may differ from
+    ``math.hypot`` in the last few ulps, so callers that need decisions
+    identical to the scalar predicate must re-check rows where ``|slack|``
+    is below a small margin with the scalar code.
+    """
+    dist = np.hypot(b[:, 0] - a[:, 0], b[:, 1] - a[:, 1])
+    return (a[:, 2] + b[:, 2]) - dist
+
+
+#: cap on the temporary projection-tensor size of the bulk SAT kernel.
+_SAT_CHUNK_ELEMS = 4_000_000
+
+
+def convex_intersect_bulk(
+    avx: np.ndarray,
+    avy: np.ndarray,
+    bvx: np.ndarray,
+    bvy: np.ndarray,
+    eps: float = EPSILON,
+) -> np.ndarray:
+    """Row-wise separating-axis test — bulk ``convex_intersect``.
+
+    Inputs are padded vertex matrices: row ``i`` of ``avx``/``avy`` holds
+    the CCW vertices of polygon ``a_i`` followed by copies of its *first*
+    vertex up to the matrix width.  That padding closes the ring (the last
+    real edge ends at the first vertex) and makes every surplus edge
+    degenerate with a zero normal, which can never certify a separation;
+    surplus vertex columns duplicate the first vertex and so never change
+    a min/max projection.  The arithmetic per axis is identical to the
+    scalar SAT (products, sums, ``min_b > max_a + eps``), hence so are the
+    decisions.  Rows must describe polygons with >= 3 distinct vertices —
+    degenerate shapes take the scalar fallback path in the caller, exactly
+    like ``convex_intersect`` itself does.
+    """
+    n = len(avx)
+    out = np.empty(n, dtype=bool)
+    width = max(avx.shape[1], bvx.shape[1], 1)
+    chunk = max(1, _SAT_CHUNK_ELEMS // (width * width))
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        sep = _sat_separated(avx[lo:hi], avy[lo:hi], bvx[lo:hi], bvy[lo:hi], eps)
+        sep |= _sat_separated(bvx[lo:hi], bvy[lo:hi], avx[lo:hi], avy[lo:hi], eps)
+        out[lo:hi] = ~sep
+    return out
+
+
+def _sat_separated(
+    px: np.ndarray, py: np.ndarray, qx: np.ndarray, qy: np.ndarray, eps: float
+) -> np.ndarray:
+    """True per row if some edge normal of ``p`` separates ``q`` from ``p``."""
+    # Outward normal of CCW edge (a->b) is (by - ay, ax - bx).
+    nx = py[:, 1:] - py[:, :-1]
+    ny = px[:, :-1] - px[:, 1:]
+    proj_p = px[:, None, :] * nx[:, :, None] + py[:, None, :] * ny[:, :, None]
+    proj_q = qx[:, None, :] * nx[:, :, None] + qy[:, None, :] * ny[:, :, None]
+    return (proj_q.min(axis=2) > proj_p.max(axis=2) + eps).any(axis=1)
+
+
+def pack_convex_rows(
+    vertex_lists: List[List[Coord]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack variable-length vertex lists for :func:`convex_intersect_bulk`.
+
+    Returns ``(vx, vy, counts)`` where ``vx``/``vy`` are ``(n, W + 1)``
+    matrices (``W`` = longest list) padded by repeating each row's first
+    vertex, and ``counts`` holds the true vertex counts.
+    """
+    n = len(vertex_lists)
+    counts = np.array([len(v) for v in vertex_lists], dtype=np.intp)
+    width = int(counts.max()) + 1 if n else 1
+    vx = np.zeros((n, width))
+    vy = np.zeros((n, width))
+    for i, verts in enumerate(vertex_lists):
+        c = len(verts)
+        if c == 0:
+            continue
+        row = np.asarray(verts, dtype=float)
+        vx[i, :c] = row[:, 0]
+        vy[i, :c] = row[:, 1]
+        vx[i, c:] = row[0, 0]
+        vy[i, c:] = row[0, 1]
+    return vx, vy, counts
 
 
 def polygons_intersect_fast(poly1: Polygon, poly2: Polygon) -> bool:

@@ -1,0 +1,61 @@
+"""JoinConfig must reject bad settings at construction time.
+
+An unknown exact method, engine, or predicate raises ``ValueError``
+immediately (not deep inside the pipeline), and the message names the
+valid choices so the fix is obvious from the traceback alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ENGINES, EXACT_METHODS, JoinConfig
+
+
+def test_unknown_exact_method_names_choices():
+    with pytest.raises(ValueError) as excinfo:
+        JoinConfig(exact_method="magic")
+    message = str(excinfo.value)
+    assert "magic" in message
+    for choice in EXACT_METHODS:
+        assert choice in message
+
+
+def test_unknown_engine_names_choices():
+    with pytest.raises(ValueError) as excinfo:
+        JoinConfig(engine="warp-drive")
+    message = str(excinfo.value)
+    assert "warp-drive" in message
+    for choice in ENGINES:
+        assert choice in message
+    assert "streaming" in message and "batched" in message
+
+
+def test_unknown_predicate_names_choices():
+    with pytest.raises(ValueError) as excinfo:
+        JoinConfig(predicate="touches")
+    message = str(excinfo.value)
+    assert "touches" in message
+    assert "intersects" in message and "within" in message
+
+
+@pytest.mark.parametrize("batch_size", (0, -1, -100))
+def test_invalid_batch_size_rejected(batch_size):
+    with pytest.raises(ValueError, match="batch_size"):
+        JoinConfig(batch_size=batch_size)
+
+
+def test_valid_configs_construct():
+    for engine in ENGINES:
+        for exact in EXACT_METHODS:
+            config = JoinConfig(engine=engine, exact_method=exact,
+                                batch_size=1)
+            assert config.engine == engine
+            assert config.exact_method == exact
+
+
+def test_registry_constants_are_consistent():
+    """The CLI choices, config validation, and engine factory agree."""
+    from repro.engine import BatchedEngine, StreamingEngine
+
+    assert set(ENGINES) == {StreamingEngine.name, BatchedEngine.name}

@@ -1,0 +1,123 @@
+"""Counter invariants of ``MultiStepStats`` — locked in for both engines.
+
+After any completed join: every MBR-join candidate is classified exactly
+once (``filter_hits + filter_false_hits + remaining_candidates ==
+candidate_pairs``), every remaining candidate gets exactly one exact
+test (``exact_tests == remaining_candidates``), and the buffer
+page-access counters only ever grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import random_relation_pair
+from repro.core import FilterConfig, JoinConfig, SpatialJoinProcessor
+from repro.core.stats import MultiStepStats
+from repro.index import LRUBuffer
+
+ENGINES = ("streaming", "batched")
+
+CONFIGS = [
+    JoinConfig(exact_method="vectorized"),
+    JoinConfig(
+        filter=FilterConfig(conservative=None, progressive=None),
+        exact_method="vectorized",
+    ),
+    JoinConfig(
+        filter=FilterConfig(conservative="MBC", progressive="MEC",
+                            use_false_area_test=True),
+        exact_method="vectorized",
+    ),
+    JoinConfig(exact_method="vectorized", predicate="within"),
+]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("cfg_index", range(len(CONFIGS)))
+def test_flow_conservation_after_join(engine, cfg_index):
+    from dataclasses import replace
+
+    config = replace(CONFIGS[cfg_index], engine=engine, batch_size=32)
+    rel_a, rel_b = random_relation_pair(cfg_index + 50)
+    stats = SpatialJoinProcessor(config).join(rel_a, rel_b).stats
+    stats.check_invariants()
+    assert (
+        stats.filter_hits + stats.filter_false_hits + stats.exact_tests
+        == stats.candidate_pairs
+    )
+    assert stats.exact_tests == stats.remaining_candidates
+    assert stats.identified_pairs + stats.remaining_candidates == (
+        stats.candidate_pairs
+    )
+
+
+def test_check_invariants_catches_leaks():
+    stats = MultiStepStats()
+    stats.candidate_pairs = 3
+    stats.filter_false_hits = 1
+    stats.remaining_candidates = 1  # one candidate unaccounted for
+    with pytest.raises(AssertionError, match="leak"):
+        stats.check_invariants()
+
+
+class _RecordingBuffer(LRUBuffer):
+    """LRU buffer that snapshots its counters after every access."""
+
+    def __init__(self, capacity_pages):
+        super().__init__(capacity_pages)
+        self.snapshots = []
+
+    def access(self, page_id):
+        hit = super().access(page_id)
+        self.snapshots.append((self.hits, self.misses, self.accesses))
+        return hit
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_buffer_page_counters_monotone(engine, monkeypatch):
+    """hits/misses/accesses never decrease while a join runs."""
+    import repro.engine.base as engine_base
+
+    buffers = []
+
+    def capture(capacity_pages):
+        buf = _RecordingBuffer(capacity_pages)
+        buffers.append(buf)
+        return buf
+
+    monkeypatch.setattr(engine_base, "LRUBuffer", capture)
+    rel_a, rel_b = random_relation_pair(9)
+    config = JoinConfig(
+        exact_method="vectorized", buffer_pages=4, engine=engine,
+        batch_size=16,
+    )
+    SpatialJoinProcessor(config).join(rel_a, rel_b)
+
+    assert buffers, "join with buffer_pages must allocate an LRU buffer"
+    for buf in buffers:
+        assert buf.snapshots, "buffer never accessed"
+        prev = (0, 0, 0)
+        for snap in buf.snapshots:
+            hits, misses, accesses = snap
+            assert accesses == hits + misses
+            assert snap >= prev, f"counter went backwards: {prev} -> {snap}"
+            assert accesses == prev[2] + 1, "exactly one access per visit"
+            prev = snap
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_buffer_accounting_identical_across_engines(engine):
+    """Total page reads with a buffer are engine-independent."""
+    from dataclasses import replace
+
+    rel_a, rel_b = random_relation_pair(13)
+    base = JoinConfig(exact_method="vectorized", buffer_pages=4)
+    result = SpatialJoinProcessor(
+        replace(base, engine=engine, batch_size=16)
+    ).join(rel_a, rel_b)
+    reference = SpatialJoinProcessor(base).join(rel_a, rel_b)
+    assert result.stats.mbr_join.node_pairs == (
+        reference.stats.mbr_join.node_pairs
+    )
+    assert result.id_pairs() == reference.id_pairs()
