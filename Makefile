@@ -1,12 +1,14 @@
-# Entry points for the growing test suite and the engine benchmark.
+# Entry points for the growing test suite and the benchmarks.
 #
-#   make test        - full suite (tier-1 gate; includes slow fuzz tests)
-#   make test-fast   - quick suite: everything except @pytest.mark.slow
-#   make bench-engine - streaming-vs-batched engine benchmark, quick scale
+#   make test          - full suite (tier-1 gate; includes slow fuzz tests)
+#   make test-fast     - quick suite: everything except @pytest.mark.slow
+#   make test-parallel - multi-process tile-executor tests (@pytest.mark.parallel)
+#   make bench-engine  - streaming-vs-batched engine benchmark, quick scale
+#   make bench-parallel - measured vs LPT-modeled parallel speedup, quick scale
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench-engine
+.PHONY: test test-fast test-parallel bench-engine bench-parallel
 
 test:
 	$(PYTEST) -x -q
@@ -14,5 +16,11 @@ test:
 test-fast:
 	$(PYTEST) -x -q -m "not slow"
 
+test-parallel:
+	$(PYTEST) -q -m parallel
+
 bench-engine:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_engine_batched.py
+
+bench-parallel:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_parallel_exec.py

@@ -18,6 +18,7 @@ Example session::
     python -m repro generate --objects 200 --vertices 84 --seed 7 --out b.wkt
     python -m repro info europe.wkt
     python -m repro join europe.wkt b.wkt --conservative 5-C --progressive MER
+    python -m repro join europe.wkt b.wkt --workers 4 --grid 4 4
     python -m repro query europe.wkt --window 0.2 0.2 0.4 0.4
     python -m repro overlay europe.wkt b.wkt
     python -m repro distance europe.wkt b.wkt --epsilon 0.02
@@ -74,6 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
                            "vectorized batched filter (see repro.engine)")
     join.add_argument("--batch-size", type=int, default=1024,
                       help="candidate pairs per block for --engine batched")
+    join.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the partitioned tile "
+                           "executor; 1 (default) runs the ordinary serial "
+                           "join in-process")
+    join.add_argument("--grid", nargs=2, type=int, default=(4, 4),
+                      metavar=("NX", "NY"),
+                      help="tile grid for --workers > 1 (default 4 4)")
     join.add_argument("--pairs", action="store_true",
                       help="print every result pair")
 
@@ -150,17 +158,39 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_join(args: argparse.Namespace) -> int:
     rel_a = load_relation(args.relation_a)
     rel_b = load_relation(args.relation_b)
-    config = JoinConfig(
-        filter=FilterConfig(
-            conservative=_none_or(args.conservative),
-            progressive=_none_or(args.progressive),
-        ),
-        exact_method=args.exact,
-        predicate=args.predicate,
-        engine=args.engine,
-        batch_size=args.batch_size,
-    )
-    result = SpatialJoinProcessor(config).join(rel_a, rel_b)
+    try:
+        config = JoinConfig(
+            filter=FilterConfig(
+                conservative=_none_or(args.conservative),
+                progressive=_none_or(args.progressive),
+            ),
+            exact_method=args.exact,
+            predicate=args.predicate,
+            engine=args.engine,
+            batch_size=args.batch_size,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if config.workers > 1:
+        from .core.parallel_exec import parallel_partitioned_join
+
+        try:
+            result = parallel_partitioned_join(
+                rel_a, rel_b, grid=tuple(args.grid), config=config
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"parallel executor: {config.workers} workers, "
+            f"{result.tile_tasks} tile tasks on a "
+            f"{args.grid[0]}x{args.grid[1]} grid, "
+            f"{result.elapsed_seconds * 1e3:.0f} ms"
+        )
+    else:
+        result = SpatialJoinProcessor(config).join(rel_a, rel_b)
     stats = result.stats
     print(f"{args.predicate} join: {len(result)} result pairs")
     print(f"  candidates (MBR-join):  {stats.candidate_pairs}")

@@ -37,12 +37,22 @@ from .histogram import (
     joint_histograms,
 )
 from .parallel import (
+    MeasuredRun,
     ParallelJoinReport,
     ParallelSimulation,
     TileCost,
+    measure_parallel_join,
     schedule_lpt,
     simulate_parallel_join,
     tile_costs,
+)
+from .parallel_exec import (
+    ParallelPartitionedJoinResult,
+    TileOutcome,
+    TileTask,
+    parallel_partitioned_join,
+    plan_tile_tasks,
+    run_tile_task,
 )
 from .selectivity import (
     FilterRates,
@@ -99,8 +109,16 @@ __all__ = [
     "line_region_join",
     "brute_force_inside_join",
     "points_in_regions_join",
+    "MeasuredRun",
     "ParallelJoinReport",
+    "ParallelPartitionedJoinResult",
     "ParallelSimulation",
+    "TileOutcome",
+    "TileTask",
+    "measure_parallel_join",
+    "parallel_partitioned_join",
+    "plan_tile_tasks",
+    "run_tile_task",
     "RelationProfile",
     "SpatialHistogram",
     "TileCost",

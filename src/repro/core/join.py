@@ -16,6 +16,7 @@ results and statistics; :class:`JoinConfig.engine` selects one.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
@@ -56,6 +57,10 @@ class JoinConfig:
     engine: str = "streaming"
     #: candidate pairs drained per block by the batched engine.
     batch_size: int = 1024
+    #: worker processes for the partitioned tile executor
+    #: (:mod:`repro.core.parallel_exec`): 1 = serial in-process
+    #: execution, N > 1 = tiles run on a process pool.
+    workers: int = 1
 
     def __post_init__(self):
         if self.exact_method not in EXACT_METHODS:
@@ -77,6 +82,31 @@ class JoinConfig:
             raise ValueError(
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise ValueError(
+                f"workers must be an integer, got {self.workers!r}; "
+                "valid choices: 1 (serial in-process join) or N > 1 "
+                "(multi-process tile executor)"
+            )
+        if self.workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {self.workers}; "
+                "valid choices: 1 (serial in-process join) or N > 1 "
+                "(multi-process tile executor)"
+            )
+        if self.workers > 1:
+            # Tile tasks ship the whole config to worker processes, so a
+            # parallel config must pickle.  Failing here gives a clear
+            # one-frame error instead of a mid-join traceback from
+            # inside the process pool.
+            try:
+                pickle.dumps(self)
+            except Exception as exc:
+                raise ValueError(
+                    f"JoinConfig with workers={self.workers} must be "
+                    "picklable so tiles can be shipped to worker "
+                    f"processes, but pickling failed: {exc}"
+                ) from exc
 
 
 @dataclass

@@ -16,13 +16,16 @@ running those tiles on ``p`` processors:
   imbalance that limits the achievable speedup (the paper's skewed
   cartographic data makes perfect balance impossible).
 
-No actual threads are used: the point is the *model* (what speedup the
-paper's architecture could reach), not wall-clock parallelism of this
-Python process.
+No actual threads are used here: the point is the *model* (what speedup
+the paper's architecture could reach).  Real wall-clock parallelism
+lives in :mod:`repro.core.parallel_exec`; :func:`simulate_parallel_join`
+bridges the two when called with ``measure=True``, reporting measured
+process-pool speedups next to the modeled LPT makespans.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
@@ -121,15 +124,74 @@ def schedule_lpt(costs: Sequence[TileCost], processors: int) -> ParallelSimulati
     return ParallelSimulation(processors=loads, sequential_seconds=sequential)
 
 
+@dataclass(frozen=True)
+class MeasuredRun:
+    """One measured execution of the real multi-process tile executor."""
+
+    workers: int
+    wall_seconds: float
+    #: wall-clock speedup relative to the measured workers=1 run.
+    speedup: float
+
+
 @dataclass
 class ParallelJoinReport:
     """A partitioned join plus its parallel-execution simulation."""
 
     result: PartitionedJoinResult
     simulations: List[Tuple[int, ParallelSimulation]]
+    #: real process-pool runs (populated by ``measure=True``); empty
+    #: when only the deterministic model was requested.
+    measured: List[MeasuredRun] = field(default_factory=list)
 
     def speedup_curve(self) -> List[Tuple[int, float]]:
         return [(p, sim.speedup) for p, sim in self.simulations]
+
+    def speedup_table(self) -> List[Tuple[int, float, Optional[float]]]:
+        """``(workers, modeled speedup, measured speedup or None)`` rows."""
+        measured_by_workers = {m.workers: m.speedup for m in self.measured}
+        return [
+            (p, sim.speedup, measured_by_workers.get(p))
+            for p, sim in self.simulations
+        ]
+
+
+def measure_parallel_join(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    grid: Tuple[int, int] = (4, 4),
+    worker_counts: Sequence[int] = (1, 2, 4),
+    config: Optional[JoinConfig] = None,
+) -> List[MeasuredRun]:
+    """Run the real tile executor at each worker count and time it.
+
+    The workers=1 wall clock is the baseline for the reported speedups
+    (measured 1 is prepended when absent so a baseline always exists).
+    Unlike the simulator, this measures this host's actual fork/pickle
+    overheads — on tiny inputs the measured speedup can be < 1 even
+    when the model predicts a gain.
+    """
+    from .parallel_exec import parallel_partitioned_join
+
+    counts = list(worker_counts)
+    if 1 not in counts:
+        counts.insert(0, 1)
+    walls = {}
+    for workers in counts:
+        start = time.perf_counter()
+        parallel_partitioned_join(
+            relation_a, relation_b, grid=grid, config=config, workers=workers
+        )
+        walls[workers] = time.perf_counter() - start
+    baseline = walls[1]
+    return [
+        MeasuredRun(
+            workers=w,
+            wall_seconds=walls[w],
+            speedup=baseline / walls[w] if walls[w] > 0 else 1.0,
+        )
+        for w in counts
+    ]
 
 
 def simulate_parallel_join(
@@ -139,6 +201,7 @@ def simulate_parallel_join(
     processor_counts: Sequence[int] = (1, 2, 4, 8),
     config: Optional[JoinConfig] = None,
     engine: Optional[str] = None,
+    measure: bool = False,
 ) -> ParallelJoinReport:
     """Partition, join, and simulate execution on each processor count.
 
@@ -149,6 +212,11 @@ def simulate_parallel_join(
     processors run for their tile-local joins (``"streaming"`` or
     ``"batched"``, see :mod:`repro.engine`); the tile decomposition and
     the simulated cost model are engine-independent.
+
+    ``measure=True`` additionally runs the real multi-process executor
+    (:mod:`repro.core.parallel_exec`) at every processor count and fills
+    ``report.measured``, so :meth:`ParallelJoinReport.speedup_table`
+    shows the modeled LPT makespan next to this host's wall clock.
     """
     config = config or JoinConfig()
     if engine is not None:
@@ -156,4 +224,12 @@ def simulate_parallel_join(
     result = partitioned_join(relation_a, relation_b, grid=grid, config=config)
     costs = tile_costs(result.partitions)
     simulations = [(p, schedule_lpt(costs, p)) for p in processor_counts]
-    return ParallelJoinReport(result=result, simulations=simulations)
+    measured: List[MeasuredRun] = []
+    if measure:
+        measured = measure_parallel_join(
+            relation_a, relation_b, grid=grid,
+            worker_counts=processor_counts, config=config,
+        )
+    return ParallelJoinReport(
+        result=result, simulations=simulations, measured=measured
+    )

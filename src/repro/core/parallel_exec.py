@@ -1,0 +1,249 @@
+"""Real multi-process parallel execution of partitioned spatial joins.
+
+:mod:`repro.core.parallel` *models* the paper's §6 CPU/I-O-parallelism
+outlook with a deterministic LPT-scheduling simulator; this module runs
+it for real.  The grid tiles produced by :mod:`repro.core.partition` are
+packed into picklable :class:`TileTask` units, shipped to a
+:class:`concurrent.futures.ProcessPoolExecutor`, joined locally in each
+worker with the configured engine (streaming or batched), de-duplicated
+with the same reference-tile rule as the serial partitioned join, and
+merged back into one deterministic result:
+
+* **Result transparency** — the merged pair list equals the serial
+  partitioned join's (and therefore the plain multi-step join's up to
+  order); tiles are merged in tile-key order, so the output order is
+  byte-identical to :func:`repro.core.partition.partitioned_join`.
+* **Stats transparency** — every worker returns its tile's full
+  :class:`~repro.core.stats.MultiStepStats`; the parent folds them with
+  the associative :meth:`MultiStepStats.merge`, so the merged counters
+  equal the serial partitioned join's exactly.
+* **Degenerate pool** — ``workers=1`` executes the identical task
+  objects in-process but still round-trips each task and outcome
+  through :mod:`pickle`, so the single-worker path proves the IPC
+  format without paying for a pool.
+
+``tests/test_parallel_exec_equivalence.py`` is the differential suite
+that enforces both guarantees across engines, predicates, and worker
+counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datasets.relations import SpatialObject, SpatialRelation
+from ..geometry import Polygon, Rect
+from .join import JoinConfig, SpatialJoinProcessor
+from .partition import (
+    PartitionedJoinResult,
+    PartitionStats,
+    owning_tile,
+    plan_tile_buckets,
+    subrelation,
+)
+from .stats import MultiStepStats
+
+#: ``(oid, polygon)`` — the wire format of one relation slice entry.
+WireObject = Tuple[int, Polygon]
+
+
+@dataclass(frozen=True)
+class TileTask:
+    """Picklable unit of work: one tile's local join.
+
+    Carries everything a worker needs and nothing it does not: the two
+    relation slices as ``(oid, polygon)`` pairs (cached approximations
+    and TR*-trees are rebuilt in the worker — they are derived data),
+    the tile key, the joint data space and grid shape for the
+    reference-tile de-duplication, and the full :class:`JoinConfig`.
+    """
+
+    tile: Tuple[int, int]
+    name_a: str
+    name_b: str
+    objects_a: Tuple[WireObject, ...]
+    objects_b: Tuple[WireObject, ...]
+    space: Tuple[float, float, float, float]
+    grid: Tuple[int, int]
+    config: JoinConfig
+
+
+@dataclass
+class TileOutcome:
+    """What a worker sends back: owned pairs by oid, plus full stats."""
+
+    tile: Tuple[int, int]
+    id_pairs: List[Tuple[int, int]]
+    stats: MultiStepStats
+    elapsed_seconds: float
+
+
+@dataclass
+class ParallelPartitionedJoinResult(PartitionedJoinResult):
+    """Serial-identical join result plus parallel-execution telemetry."""
+
+    workers: int = 1
+    tile_tasks: int = 0
+    elapsed_seconds: float = 0.0
+    #: per-tile wall-clock seconds measured inside the workers.
+    tile_seconds: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-side join time (the parallelisable work)."""
+        return sum(self.tile_seconds.values())
+
+
+def plan_tile_tasks(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    grid: Tuple[int, int],
+    config: JoinConfig,
+) -> Tuple[List[TileTask], List[PartitionStats]]:
+    """Decompose a join into picklable per-tile tasks.
+
+    Returns the tasks (non-empty tiles only, in tile-key order) and a
+    :class:`PartitionStats` shell for *every* tile — empty tiles appear
+    with zero counts, exactly as in the serial partitioned join.  The
+    decomposition itself comes from the shared
+    :func:`~repro.core.partition.plan_tile_buckets`, so tile order and
+    replication can never diverge from the serial path.
+    """
+    space, plan = plan_tile_buckets(relation_a, relation_b, grid)
+
+    tasks: List[TileTask] = []
+    partitions: List[PartitionStats] = []
+    for key, objs_a, objs_b in plan:
+        partitions.append(
+            PartitionStats(tile=key, objects_a=len(objs_a),
+                           objects_b=len(objs_b))
+        )
+        if not objs_a or not objs_b:
+            continue
+        tasks.append(
+            TileTask(
+                tile=key,
+                name_a=relation_a.name,
+                name_b=relation_b.name,
+                objects_a=tuple((o.oid, o.polygon) for o in objs_a),
+                objects_b=tuple((o.oid, o.polygon) for o in objs_b),
+                space=(space.xmin, space.ymin, space.xmax, space.ymax),
+                grid=grid,
+                config=config,
+            )
+        )
+    return tasks, partitions
+
+
+def _materialise(name: str, wire_objects: Sequence[WireObject]):
+    """Rebuild a relation slice in the worker, preserving original oids."""
+    return subrelation(
+        name, [SpatialObject(oid, poly) for oid, poly in wire_objects]
+    )
+
+
+def run_tile_task(task: TileTask) -> TileOutcome:
+    """Execute one tile's local join (runs inside a worker process).
+
+    The local join is the ordinary multi-step pipeline with the task's
+    engine configuration; de-duplication applies the reference-tile rule
+    *in the worker*, so only owned pairs cross the process boundary.
+    """
+    start = time.perf_counter()
+    rel_a = _materialise(task.name_a, task.objects_a)
+    rel_b = _materialise(task.name_b, task.objects_b)
+    config = replace(task.config, workers=1)
+    result = SpatialJoinProcessor(config).join(rel_a, rel_b)
+    space = Rect(*task.space)
+    nx, ny = task.grid
+    owned = [
+        (obj_a.oid, obj_b.oid)
+        for obj_a, obj_b in result.pairs
+        if owning_tile(obj_a.mbr, obj_b.mbr, space, nx, ny) == task.tile
+    ]
+    return TileOutcome(
+        tile=task.tile,
+        id_pairs=owned,
+        stats=result.stats,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def _run_serial(tasks: Sequence[TileTask]) -> List[TileOutcome]:
+    """workers=1: same tasks, in-process, still through the wire format."""
+    outcomes = []
+    for task in tasks:
+        shipped = pickle.loads(pickle.dumps(task))
+        outcomes.append(pickle.loads(pickle.dumps(run_tile_task(shipped))))
+    return outcomes
+
+
+def _pool_context():
+    """Prefer fork (cheap, Linux default); fall back to the platform default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def parallel_partitioned_join(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    grid: Tuple[int, int] = (4, 4),
+    config: Optional[JoinConfig] = None,
+    workers: Optional[int] = None,
+) -> ParallelPartitionedJoinResult:
+    """Grid-partitioned multi-step join on a real process pool.
+
+    ``workers`` overrides ``config.workers`` when given.  Tiles are
+    dispatched with :meth:`ProcessPoolExecutor.map`, which preserves
+    task order, so the merged output is deterministic regardless of
+    which worker finishes first — identical pairs, order, and merged
+    statistics as the serial :func:`partitioned_join` on the same grid.
+    """
+    config = config or JoinConfig()
+    if workers is not None:
+        config = replace(config, workers=workers)
+    n_workers = config.workers
+
+    start = time.perf_counter()
+    tasks, partitions = plan_tile_tasks(relation_a, relation_b, grid, config)
+
+    if n_workers == 1 or not tasks:
+        outcomes = _run_serial(tasks)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(tasks)),
+            mp_context=_pool_context(),
+        ) as pool:
+            outcomes = list(pool.map(run_tile_task, tasks))
+
+    by_id_a = {obj.oid: obj for obj in relation_a}
+    by_id_b = {obj.oid: obj for obj in relation_b}
+    by_tile = {p.tile: p for p in partitions}
+    pairs: List[Tuple[SpatialObject, SpatialObject]] = []
+    merged = MultiStepStats()
+    tile_seconds: Dict[Tuple[int, int], float] = {}
+    for outcome in outcomes:
+        pstats = by_tile[outcome.tile]
+        pstats.candidate_pairs = outcome.stats.candidate_pairs
+        pstats.output_pairs = len(outcome.id_pairs)
+        merged.merge(outcome.stats)
+        tile_seconds[outcome.tile] = outcome.elapsed_seconds
+        pairs.extend(
+            (by_id_a[oid_a], by_id_b[oid_b])
+            for oid_a, oid_b in outcome.id_pairs
+        )
+    return ParallelPartitionedJoinResult(
+        pairs=pairs,
+        partitions=partitions,
+        stats=merged,
+        workers=n_workers,
+        tile_tasks=len(tasks),
+        elapsed_seconds=time.perf_counter() - start,
+        tile_seconds=tile_seconds,
+    )

@@ -10,7 +10,11 @@ rule — a candidate pair is reported only by the tile containing the
 lower-left corner of the two MBRs' intersection rectangle.
 
 Execution here is sequential; the per-tile work statistics quantify the
-achievable parallel speedup (total work / slowest tile).
+achievable parallel speedup (total work / slowest tile).  The grid
+decomposition helpers (:func:`joint_space`, :func:`tile_rects`,
+:func:`assign_to_tiles`, :func:`owning_tile`) are shared with the real
+multi-process executor in :mod:`repro.core.parallel_exec`, which runs
+the same tiles on a :class:`concurrent.futures.ProcessPoolExecutor`.
 """
 
 from __future__ import annotations
@@ -78,34 +82,26 @@ def partitioned_join(
     """Grid-partitioned multi-step join (results equal the plain join)."""
     config = config or JoinConfig()
     nx, ny = grid
-    if nx < 1 or ny < 1:
-        raise ValueError(f"grid must be at least 1x1, got {grid}")
-
-    space = _joint_space(relation_a, relation_b)
-    tiles = _tile_rects(space, nx, ny)
-    buckets_a = _assign(relation_a, tiles)
-    buckets_b = _assign(relation_b, tiles)
+    space, plan = plan_tile_buckets(relation_a, relation_b, grid)
 
     processor = SpatialJoinProcessor(config)
     all_pairs: List[Tuple[SpatialObject, SpatialObject]] = []
     partitions: List[PartitionStats] = []
     merged = MultiStepStats()
-    for key, _tile in tiles.items():
-        objs_a = buckets_a.get(key, [])
-        objs_b = buckets_b.get(key, [])
+    for key, objs_a, objs_b in plan:
         pstats = PartitionStats(
             tile=key, objects_a=len(objs_a), objects_b=len(objs_b)
         )
         partitions.append(pstats)
         if not objs_a or not objs_b:
             continue
-        sub_a = _subrelation(relation_a.name, objs_a)
-        sub_b = _subrelation(relation_b.name, objs_b)
+        sub_a = subrelation(relation_a.name, objs_a)
+        sub_b = subrelation(relation_b.name, objs_b)
         result = processor.join(sub_a, sub_b)
         pstats.candidate_pairs = result.stats.candidate_pairs
-        _merge_stats(merged, result.stats)
+        merged.merge(result.stats)
         for obj_a, obj_b in result.pairs:
-            if _owning_tile(obj_a.mbr, obj_b.mbr, space, nx, ny) == key:
+            if owning_tile(obj_a.mbr, obj_b.mbr, space, nx, ny) == key:
                 pstats.output_pairs += 1
                 all_pairs.append((obj_a, obj_b))
     return PartitionedJoinResult(
@@ -113,16 +109,47 @@ def partitioned_join(
     )
 
 
-def _joint_space(
+def plan_tile_buckets(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    grid: Tuple[int, int],
+) -> Tuple[
+    Rect,
+    List[Tuple[Tuple[int, int], List[SpatialObject], List[SpatialObject]]],
+]:
+    """The shared tile plan: ``(space, [(tile, objs_a, objs_b), ...])``.
+
+    Single source of truth for the grid decomposition consumed by both
+    the serial :func:`partitioned_join` and the multi-process executor
+    (:mod:`repro.core.parallel_exec`) — one definition of tile order,
+    replication, and which tiles exist, so the serial-vs-parallel
+    byte-identity guarantee cannot drift.
+    """
+    nx, ny = grid
+    if nx < 1 or ny < 1:
+        raise ValueError(f"grid must be at least 1x1, got {grid}")
+    space = joint_space(relation_a, relation_b)
+    tiles = tile_rects(space, nx, ny)
+    buckets_a = assign_to_tiles(relation_a, tiles)
+    buckets_b = assign_to_tiles(relation_b, tiles)
+    return space, [
+        (key, buckets_a.get(key, []), buckets_b.get(key, []))
+        for key in tiles
+    ]
+
+
+def joint_space(
     relation_a: SpatialRelation, relation_b: SpatialRelation
 ) -> Rect:
+    """Bounding rectangle of both relations (the partitioned data space)."""
     rects = [obj.mbr for obj in relation_a] + [obj.mbr for obj in relation_b]
     if not rects:
         return Rect(0, 0, 1, 1)
     return Rect.union_all(rects)
 
 
-def _tile_rects(space: Rect, nx: int, ny: int) -> Dict[Tuple[int, int], Rect]:
+def tile_rects(space: Rect, nx: int, ny: int) -> Dict[Tuple[int, int], Rect]:
+    """The ``nx`` × ``ny`` grid tiles covering ``space``, keyed ``(i, j)``."""
     tiles = {}
     for i in range(nx):
         for j in range(ny):
@@ -135,9 +162,10 @@ def _tile_rects(space: Rect, nx: int, ny: int) -> Dict[Tuple[int, int], Rect]:
     return tiles
 
 
-def _assign(
+def assign_to_tiles(
     relation: SpatialRelation, tiles: Dict[Tuple[int, int], Rect]
 ) -> Dict[Tuple[int, int], List[SpatialObject]]:
+    """Replicate every object into each tile its MBR intersects."""
     buckets: Dict[Tuple[int, int], List[SpatialObject]] = {}
     for obj in relation:
         for key, tile in tiles.items():
@@ -154,11 +182,12 @@ class _SubRelation(SpatialRelation):
         self.objects = objects
 
 
-def _subrelation(name: str, objects: List[SpatialObject]) -> SpatialRelation:
+def subrelation(name: str, objects: List[SpatialObject]) -> SpatialRelation:
+    """A relation view over existing objects, keeping their oids intact."""
     return _SubRelation(name, objects)
 
 
-def _owning_tile(
+def owning_tile(
     mbr_a: Rect, mbr_b: Rect, space: Rect, nx: int, ny: int
 ) -> Tuple[int, int]:
     """Duplicate avoidance: the tile owning the pair's reference point.
@@ -173,18 +202,3 @@ def _owning_tile(
     ix = int((inter.xmin - space.xmin) / space.width * nx) if space.width else 0
     iy = int((inter.ymin - space.ymin) / space.height * ny) if space.height else 0
     return (min(nx - 1, max(0, ix)), min(ny - 1, max(0, iy)))
-
-
-def _merge_stats(into: MultiStepStats, other: MultiStepStats) -> None:
-    into.candidate_pairs += other.candidate_pairs
-    into.filter_false_hits += other.filter_false_hits
-    into.filter_hits_progressive += other.filter_hits_progressive
-    into.filter_hits_false_area += other.filter_hits_false_area
-    into.remaining_candidates += other.remaining_candidates
-    into.exact_hits += other.exact_hits
-    into.exact_false_hits += other.exact_false_hits
-    into.conservative_tests += other.conservative_tests
-    into.progressive_tests += other.progressive_tests
-    into.false_area_tests += other.false_area_tests
-    for op, count in other.exact_ops.counts.items():
-        into.exact_ops.count(op, count)

@@ -8,7 +8,7 @@ percentages (Tables 2–5, Figure 12) from these counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 from ..exact.costmodel import OperationCounter
 from ..index.join import JoinStats
@@ -86,6 +86,44 @@ class MultiStepStats:
             f"MBR-join reported {self.mbr_join.output_pairs} pairs but "
             f"{self.candidate_pairs} entered the filter"
         )
+
+    def merge(self, other: "MultiStepStats") -> "MultiStepStats":
+        """Fold ``other``'s counters into this instance (returns ``self``).
+
+        Every counter — including the step-1 :class:`JoinStats` and the
+        weighted :class:`OperationCounter` — is a plain sum, so merging
+        is associative and commutative: per-tile statistics of a
+        partitioned join can be aggregated in any order and any grouping
+        (serially, tree-wise, or as results arrive from worker
+        processes) and always produce the same totals.  If
+        :meth:`check_invariants` holds for every input, it holds for the
+        merge, because each invariant is a linear equation over the
+        counters.
+        """
+        self.mbr_join.mbr_tests += other.mbr_join.mbr_tests
+        self.mbr_join.node_pairs += other.mbr_join.node_pairs
+        self.mbr_join.output_pairs += other.mbr_join.output_pairs
+        self.candidate_pairs += other.candidate_pairs
+        self.filter_false_hits += other.filter_false_hits
+        self.filter_hits_progressive += other.filter_hits_progressive
+        self.filter_hits_false_area += other.filter_hits_false_area
+        self.remaining_candidates += other.remaining_candidates
+        self.exact_hits += other.exact_hits
+        self.exact_false_hits += other.exact_false_hits
+        self.conservative_tests += other.conservative_tests
+        self.progressive_tests += other.progressive_tests
+        self.false_area_tests += other.false_area_tests
+        for op, count in other.exact_ops.counts.items():
+            self.exact_ops.count(op, count)
+        return self
+
+    @classmethod
+    def merged(cls, parts: "Iterable[MultiStepStats]") -> "MultiStepStats":
+        """A fresh instance holding the sum of all ``parts``."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
     def identification_rate(self) -> float:
         if self.candidate_pairs == 0:

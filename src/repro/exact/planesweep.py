@@ -30,20 +30,32 @@ _Edge = Tuple[int, Coord, Coord]  # (polygon id, left point, right point)
 
 
 class _SweepStatus:
-    """Sweep-line status: edges ordered by y at the sweep position.
+    """Sweep-line status: edges ordered by (y, slope) at the sweep position.
 
     A sorted list with binary search; each key comparison during
     insertion is counted as one *position test*, following the paper's
     cost model.  Deletion is by identity and not charged (the original
     uses a balanced tree where deletion re-uses the insertion path).
+
+    The slope tie-break matters for correctness, not just determinism:
+    polygon edges sharing their left endpoint have equal y at the shared
+    vertex, and inserting them in arbitrary order lets the status drift
+    out of order as the sweep advances past the vertex — after which
+    binary search misplaces later edges and true neighbour pairs are
+    never tested.  Ordering ties by slope encodes the edges' order
+    immediately to the right of the sweep line, which keeps the status
+    sorted up to the first genuine intersection (the Shamos–Hoey
+    invariant).
     """
 
     def __init__(self, counter: Optional[OperationCounter]):
         self._edges: List[_Edge] = []
         self._counter = counter
 
-    def _key(self, edge: _Edge, x: float) -> float:
-        return segment_y_at(edge[1], edge[2], x)
+    def _key(self, edge: _Edge, x: float) -> Tuple[float, float]:
+        (lx, ly), (rx, ry) = edge[1], edge[2]
+        slope = (ry - ly) / (rx - lx) if rx > lx else float("inf")
+        return (segment_y_at(edge[1], edge[2], x), slope)
 
     def insert(self, edge: _Edge, x: float) -> int:
         """Insert and return the position index."""

@@ -1,9 +1,11 @@
-"""Shared helpers for the engine differential-testing harness.
+"""Shared helpers for the differential-testing harnesses.
 
 Seeded-random generation of small relations with adversarial geometry
 (touching edges, slivers with degenerate convex hulls, contained
-objects) plus the equivalence assertion used to prove the batched engine
-produces exactly the streaming engine's results and statistics.
+objects), a boundary-straddling generator for the partition
+de-duplication fuzz tests, plus the equivalence assertions used to prove
+that the batched engine and the multi-process tile executor produce
+exactly the streaming serial pipeline's results and statistics.
 """
 
 from __future__ import annotations
@@ -97,6 +99,65 @@ def random_relation_pair(
     )
 
 
+def boundary_straddling_pair(
+    seed: int,
+    grid: Tuple[int, int],
+    n_objects: int = 10,
+) -> Tuple[SpatialRelation, SpatialRelation]:
+    """Two relations whose objects deliberately straddle tile boundaries.
+
+    The partition grid cuts the joint data space into ``nx`` × ``ny``
+    tiles; this generator centres squares *on* those cut lines (and on
+    their crossings), mixes in random stars, and pins the data space to
+    the unit square with two tiny corner anchors so the tile lines are
+    known in advance.  Worst-case input for the reference-tile
+    de-duplication rule: most objects are replicated into 2–4 tiles and
+    many MBR intersections have their reference point exactly on a tile
+    edge.
+    """
+    nx, ny = grid
+    rng = random.Random(seed)
+    relations = []
+    for rel_idx in range(2):
+        # Anchors pin the joint space to [0,1]^2 for both relations.
+        polys: List[Polygon] = [
+            grid_square(0.005, 0.005, 0.005),
+            grid_square(0.995, 0.995, 0.005),
+        ]
+        for _ in range(n_objects):
+            kind = rng.random()
+            if kind < 0.4:
+                # Square centred on a vertical or horizontal tile line.
+                if rng.random() < 0.5 and nx > 1:
+                    cx = rng.randrange(1, nx) / nx
+                    cy = rng.uniform(0.05, 0.95)
+                elif ny > 1:
+                    cx = rng.uniform(0.05, 0.95)
+                    cy = rng.randrange(1, ny) / ny
+                else:
+                    cx, cy = rng.uniform(0.05, 0.95), rng.uniform(0.05, 0.95)
+                polys.append(grid_square(cx, cy, rng.uniform(0.02, 0.12)))
+            elif kind < 0.6 and nx > 1 and ny > 1:
+                # Square centred exactly on a tile-corner crossing.
+                cx = rng.randrange(1, nx) / nx
+                cy = rng.randrange(1, ny) / ny
+                polys.append(grid_square(cx, cy, rng.uniform(0.02, 0.12)))
+            else:
+                polys.append(
+                    random_star(
+                        rng,
+                        rng.uniform(0.05, 0.95),
+                        rng.uniform(0.05, 0.95),
+                        rng.uniform(0.05, 0.2),
+                        rng.randint(5, 12),
+                    )
+                )
+        relations.append(
+            SpatialRelation(f"{'AB'[rel_idx]}straddle{seed}", polys)
+        )
+    return relations[0], relations[1]
+
+
 def stats_fingerprint(stats: MultiStepStats) -> Dict[str, object]:
     """Every counter a differential test must see agree across engines."""
     return {
@@ -130,6 +191,59 @@ def run_both_engines(
         replace(config, engine="batched", batch_size=batch_size)
     ).join(relation_a, relation_b)
     return streaming, batched
+
+
+def assert_parallel_equivalent(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    config: JoinConfig,
+    grid: Tuple[int, int],
+    workers: int,
+    plain_sorted_pairs=None,
+    serial_partitioned=None,
+) -> None:
+    """Assert the multi-process executor equals the serial pipeline.
+
+    Checks, for the given engine/predicate/worker-count combination:
+    the sorted result-pair list is byte-identical to the plain serial
+    streaming-pipeline join, the merged ``MultiStepStats`` fingerprint
+    is identical to the serial partitioned join on the same grid, no
+    pair is emitted twice, and the merged stats satisfy the Figure-1
+    flow invariants.  The two baselines can be passed in pre-computed so
+    parameterised sweeps don't recompute them per worker count.
+    """
+    from repro.core import partitioned_join
+    from repro.core.parallel_exec import parallel_partitioned_join
+
+    if plain_sorted_pairs is None:
+        plain = SpatialJoinProcessor(config).join(relation_a, relation_b)
+        plain_sorted_pairs = sorted(plain.id_pairs())
+    if serial_partitioned is None:
+        serial_partitioned = partitioned_join(
+            relation_a, relation_b, grid=grid, config=config
+        )
+    parallel = parallel_partitioned_join(
+        relation_a, relation_b, grid=grid, config=config, workers=workers
+    )
+    got = parallel.id_pairs()
+    assert len(got) == len(set(got)), (
+        f"workers={workers} {config}: duplicate pairs in parallel output"
+    )
+    assert sorted(got) == plain_sorted_pairs, (
+        f"workers={workers} {config}: {len(got)} parallel pairs != "
+        f"{len(plain_sorted_pairs)} serial pairs"
+    )
+    assert got == serial_partitioned.id_pairs(), (
+        f"workers={workers} {config}: pair order diverges from the "
+        "serial partitioned join"
+    )
+    fp_parallel = stats_fingerprint(parallel.stats)
+    fp_serial = stats_fingerprint(serial_partitioned.stats)
+    assert fp_parallel == fp_serial, (
+        f"workers={workers} {config}: merged stats mismatch: "
+        f"{fp_parallel} != {fp_serial}"
+    )
+    parallel.stats.check_invariants()
 
 
 def assert_engines_equivalent(

@@ -1,4 +1,5 @@
-"""CLI coverage for the overlay / distance / knn / estimate commands."""
+"""CLI coverage for overlay / distance / knn / estimate and ``join
+--workers`` (the multi-process tile executor)."""
 
 import pytest
 
@@ -74,6 +75,68 @@ class TestKnnCommand:
             if "mindist=" in line
         ]
         assert dists == sorted(dists)
+
+
+class TestJoinWorkers:
+    def _result_pairs(self, out):
+        return int(
+            [l for l in out.splitlines() if "result pairs" in l][0].split()[2]
+        )
+
+    def test_serial_default_no_executor_banner(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(["join", path_a, path_b, "--exact", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel executor" not in out
+        assert "result pairs" in out
+
+    @pytest.mark.parallel
+    def test_workers_four_matches_serial(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(["join", path_a, path_b, "--exact", "vectorized"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["join", path_a, path_b, "--exact", "vectorized",
+             "--workers", "4"]
+        ) == 0
+        parallel_out = capsys.readouterr().out
+        assert "parallel executor: 4 workers" in parallel_out
+        assert self._result_pairs(parallel_out) == (
+            self._result_pairs(serial_out)
+        )
+
+    @pytest.mark.parallel
+    def test_workers_pairs_output_matches_serial(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+
+        def pair_lines(out):
+            return sorted(l for l in out.splitlines() if "\t" in l)
+
+        main(["join", path_a, path_b, "--exact", "vectorized", "--pairs"])
+        serial = pair_lines(capsys.readouterr().out)
+        main(["join", path_a, path_b, "--exact", "vectorized", "--pairs",
+              "--workers", "2", "--grid", "3", "3"])
+        parallel = pair_lines(capsys.readouterr().out)
+        assert parallel == serial
+
+    def test_bad_workers_value_rejected(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(["join", path_a, path_b, "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "workers" in err and "serial" in err
+
+    def test_non_numeric_workers_rejected(self, wkt_pair):
+        path_a, path_b = wkt_pair
+        with pytest.raises(SystemExit):
+            main(["join", path_a, path_b, "--workers", "many"])
+
+    def test_bad_grid_value_rejected(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(
+            ["join", path_a, path_b, "--workers", "2", "--grid", "0", "4"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "grid" in err and "1x1" in err
 
 
 class TestEstimateCommand:

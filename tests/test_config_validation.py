@@ -1,15 +1,17 @@
 """JoinConfig must reject bad settings at construction time.
 
-An unknown exact method, engine, or predicate raises ``ValueError``
-immediately (not deep inside the pipeline), and the message names the
-valid choices so the fix is obvious from the traceback alone.
+An unknown exact method, engine, or predicate — and a worker count
+below 1 or a parallel config that cannot be pickled to worker
+processes — raises ``ValueError`` immediately (not deep inside the
+pipeline or the process pool), and the message names the valid choices
+so the fix is obvious from the traceback alone.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import ENGINES, EXACT_METHODS, JoinConfig
+from repro.core import ENGINES, EXACT_METHODS, FilterConfig, JoinConfig
 
 
 def test_unknown_exact_method_names_choices():
@@ -43,6 +45,41 @@ def test_unknown_predicate_names_choices():
 def test_invalid_batch_size_rejected(batch_size):
     with pytest.raises(ValueError, match="batch_size"):
         JoinConfig(batch_size=batch_size)
+
+
+@pytest.mark.parametrize("workers", (0, -1, -8))
+def test_workers_below_one_rejected(workers):
+    with pytest.raises(ValueError) as excinfo:
+        JoinConfig(workers=workers)
+    message = str(excinfo.value)
+    assert str(workers) in message
+    # The message names the valid choices, like the engine validation.
+    assert "serial" in message and "multi-process" in message
+
+
+@pytest.mark.parametrize("workers", (1.5, "4", None))
+def test_non_integer_workers_rejected(workers):
+    with pytest.raises(ValueError, match="workers"):
+        JoinConfig(workers=workers)
+
+
+def test_non_picklable_parallel_config_rejected_early():
+    class LocalFilter(FilterConfig):
+        """Instances of test-local classes cannot be pickled."""
+
+    unpicklable = LocalFilter()
+    # Serial configs never cross a process boundary: accepted.
+    JoinConfig(filter=unpicklable, workers=1)
+    with pytest.raises(ValueError, match="picklable"):
+        JoinConfig(filter=unpicklable, workers=2)
+
+
+def test_parallel_config_accepts_picklable_defaults():
+    config = JoinConfig(workers=4)
+    assert config.workers == 4
+    import pickle
+
+    assert pickle.loads(pickle.dumps(config)) == config
 
 
 def test_valid_configs_construct():

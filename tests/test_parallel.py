@@ -112,6 +112,32 @@ class TestSimulatedJoin:
         # finer tiles give the scheduler more freedom: speedup must not drop
         assert fine.simulations[0][1].speedup >= coarse.simulations[0][1].speedup - 0.25
 
+    @pytest.mark.parallel
+    def test_measured_speedup_reported_next_to_model(self):
+        rel_a = europe(size=40)
+        rel_b = europe(seed=5, size=40)
+        report = simulate_parallel_join(
+            rel_a, rel_b, grid=(3, 3), processor_counts=(1, 2),
+            measure=True,
+        )
+        assert [m.workers for m in report.measured] == [1, 2]
+        assert report.measured[0].speedup == pytest.approx(1.0)
+        for run in report.measured:
+            assert run.wall_seconds > 0
+        table = report.speedup_table()
+        assert [row[0] for row in table] == [1, 2]
+        for _, modeled, measured in table:
+            assert modeled >= 1.0
+            assert measured is not None
+
+    def test_unmeasured_report_has_empty_measured_column(self):
+        rel_a = europe(size=30)
+        rel_b = europe(seed=9, size=30)
+        report = simulate_parallel_join(rel_a, rel_b, grid=(2, 2),
+                                        processor_counts=(1, 4))
+        assert report.measured == []
+        assert [row[2] for row in report.speedup_table()] == [None, None]
+
     def test_processor_loads_partition_tiles(self):
         rel_a = europe(size=30)
         rel_b = europe(seed=9, size=30)

@@ -8,7 +8,7 @@ layouts, random filter configurations, random exact backends.
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -69,6 +69,10 @@ class TestPipelineProperty:
         seed=st.integers(min_value=0, max_value=10_000),
         method=st.sampled_from(["trstar", "planesweep", "quadratic"]),
     )
+    # Regression: the plane sweep's status order corrupted when polygon
+    # edges shared their left endpoint (equal y keys inserted in
+    # arbitrary order), silently dropping a result pair at this seed.
+    @example(seed=403, method="planesweep")
     @settings(max_examples=8, deadline=None)
     def test_any_exact_method_matches_oracle(self, seed, method):
         rel_a = random_relation(seed, 15)

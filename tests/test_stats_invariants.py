@@ -4,16 +4,22 @@ After any completed join: every MBR-join candidate is classified exactly
 once (``filter_hits + filter_false_hits + remaining_candidates ==
 candidate_pairs``), every remaining candidate gets exactly one exact
 test (``exact_tests == remaining_candidates``), and the buffer
-page-access counters only ever grow.
+page-access counters only ever grow.  ``MultiStepStats.merge`` must be
+an associative, commutative fold with the empty stats as identity, so
+per-tile statistics can be aggregated in any order — the property the
+multi-process tile executor relies on.
 """
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
-from helpers import random_relation_pair
+from helpers import random_relation_pair, stats_fingerprint
 from repro.core import FilterConfig, JoinConfig, SpatialJoinProcessor
 from repro.core.stats import MultiStepStats
+from repro.exact.costmodel import EDGE_INTERSECTION, TRAPEZOID_INTERSECTION
 from repro.index import LRUBuffer
 
 ENGINES = ("streaming", "batched")
@@ -50,6 +56,100 @@ def test_flow_conservation_after_join(engine, cfg_index):
     assert stats.identified_pairs + stats.remaining_candidates == (
         stats.candidate_pairs
     )
+
+
+def _random_valid_stats(rng: random.Random) -> MultiStepStats:
+    """Random stats satisfying the Figure-1 flow invariants."""
+    stats = MultiStepStats()
+    stats.filter_hits_progressive = rng.randint(0, 50)
+    stats.filter_hits_false_area = rng.randint(0, 10)
+    stats.filter_false_hits = rng.randint(0, 50)
+    stats.exact_hits = rng.randint(0, 30)
+    stats.exact_false_hits = rng.randint(0, 30)
+    stats.remaining_candidates = stats.exact_hits + stats.exact_false_hits
+    stats.candidate_pairs = (
+        stats.filter_hits + stats.filter_false_hits
+        + stats.remaining_candidates
+    )
+    stats.mbr_join.output_pairs = stats.candidate_pairs
+    stats.mbr_join.mbr_tests = stats.candidate_pairs + rng.randint(0, 100)
+    stats.mbr_join.node_pairs = rng.randint(0, 20)
+    stats.conservative_tests = rng.randint(0, stats.candidate_pairs)
+    stats.progressive_tests = rng.randint(0, stats.candidate_pairs)
+    stats.false_area_tests = rng.randint(0, 10)
+    stats.exact_ops.count(EDGE_INTERSECTION, rng.randint(0, 500))
+    if rng.random() < 0.5:
+        stats.exact_ops.count(TRAPEZOID_INTERSECTION, rng.randint(1, 80))
+    stats.check_invariants()
+    return stats
+
+
+class TestMerge:
+    def test_merge_is_commutative(self):
+        rng = random.Random(71)
+        for _ in range(20):
+            a, b = _random_valid_stats(rng), _random_valid_stats(rng)
+            ab = MultiStepStats.merged([a, b])
+            ba = MultiStepStats.merged([b, a])
+            assert stats_fingerprint(ab) == stats_fingerprint(ba)
+            assert ab.mbr_join.node_pairs == ba.mbr_join.node_pairs
+
+    def test_merge_is_associative(self):
+        rng = random.Random(72)
+        for _ in range(20):
+            a, b, c = (_random_valid_stats(rng) for _ in range(3))
+            left = MultiStepStats.merged([MultiStepStats.merged([a, b]), c])
+            right = MultiStepStats.merged([a, MultiStepStats.merged([b, c])])
+            assert stats_fingerprint(left) == stats_fingerprint(right)
+
+    def test_empty_stats_is_merge_identity(self):
+        rng = random.Random(73)
+        stats = _random_valid_stats(rng)
+        fingerprint = stats_fingerprint(stats)
+        merged = MultiStepStats.merged([MultiStepStats(), stats])
+        assert stats_fingerprint(merged) == fingerprint
+        merged.merge(MultiStepStats())
+        assert stats_fingerprint(merged) == fingerprint
+
+    def test_merge_returns_self_and_mutates_in_place(self):
+        target = MultiStepStats()
+        other = MultiStepStats()
+        other.candidate_pairs = other.mbr_join.output_pairs = 3
+        other.remaining_candidates = other.exact_hits = 3
+        assert target.merge(other) is target
+        assert target.candidate_pairs == 3
+        # The source is never mutated by a merge.
+        assert other.candidate_pairs == 3
+
+    def test_invariants_hold_on_any_merge_of_valid_parts(self):
+        rng = random.Random(74)
+        for _ in range(10):
+            parts = [
+                _random_valid_stats(rng)
+                for _ in range(rng.randint(1, 6))
+            ]
+            merged = MultiStepStats.merged(parts)
+            merged.check_invariants()
+            assert merged.candidate_pairs == sum(
+                p.candidate_pairs for p in parts
+            )
+            assert merged.exact_ops.total_operations() == sum(
+                p.exact_ops.total_operations() for p in parts
+            )
+
+    def test_merged_tile_stats_equal_partitioned_join_stats(self):
+        """Folding real per-tile worker stats reproduces the serial sum."""
+        from repro.core import partitioned_join, plan_tile_tasks, run_tile_task
+
+        rel_a, rel_b = random_relation_pair(61)
+        config = JoinConfig(exact_method="vectorized")
+        serial = partitioned_join(rel_a, rel_b, grid=(3, 3), config=config)
+        tasks, _ = plan_tile_tasks(rel_a, rel_b, (3, 3), config)
+        merged = MultiStepStats.merged(
+            run_tile_task(task).stats for task in tasks
+        )
+        assert stats_fingerprint(merged) == stats_fingerprint(serial.stats)
+        merged.check_invariants()
 
 
 def test_check_invariants_catches_leaks():
