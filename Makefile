@@ -5,10 +5,11 @@
 #   make test-parallel - multi-process tile-executor tests (@pytest.mark.parallel)
 #   make bench-engine  - streaming-vs-batched engine benchmark, quick scale
 #   make bench-parallel - measured vs LPT-modeled parallel speedup, quick scale
+#   make bench-columnar - columnar wire-format + repack benchmark, quick scale
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-parallel bench-engine bench-parallel
+.PHONY: test test-fast test-parallel bench-engine bench-parallel bench-columnar
 
 test:
 	$(PYTEST) -x -q
@@ -24,3 +25,6 @@ bench-engine:
 
 bench-parallel:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_parallel_exec.py
+
+bench-columnar:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_columnar.py

@@ -13,6 +13,19 @@ column layout instead of SAM pages.  Values are copied bit-for-bit from
 the scalar approximation objects (``mbr()``, ``area()``, vertex tuples),
 never re-derived, so bulk kernels operating on these arrays see exactly
 the floats the scalar filter sees.
+
+Columnar layout
+---------------
+The relation-level owner of these columns is
+:class:`repro.datasets.columnar.ColumnarRelation`: it packs one encoder
+per (relation, approximation kind) exactly once and caches it on the
+relation, so repeated joins — and sweeps over filter configurations —
+never re-pack.  A join spans two relations; the batched filter adopts
+the two pre-packed stores with :meth:`BatchApproxArrays.from_columnar`,
+which concatenates the finished arrays (a memcpy) instead of re-running
+the per-object packing kernels.  Incremental registration stays
+available for objects outside any columnar store (the legacy per-join
+path, ``JoinConfig(columnar=False)``).
 """
 
 from __future__ import annotations
@@ -35,6 +48,17 @@ def _widen_convex_rows(matrix: np.ndarray, width: int) -> np.ndarray:
     return np.concatenate([matrix, pad], axis=1)
 
 
+def _widen_concat(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack packed vertex matrices, padding all to the widest one."""
+    width = max(m.shape[1] for m in matrices)
+    return np.concatenate(
+        [
+            m if m.shape[1] == width else _widen_convex_rows(m, width)
+            for m in matrices
+        ]
+    )
+
+
 class BatchApproxArrays:
     """Array store for one approximation kind over many objects.
 
@@ -51,12 +75,12 @@ class BatchApproxArrays:
         self.family: Optional[str] = None
         self._row_of: Dict[int, int] = {}
         self._objects: List[object] = []  # keeps id() keys alive
-        self._mbr_rows: List[tuple] = []
-        self._fa_rows: List[float] = []
-        self._circle_rows: List[tuple] = []
-        self._vertex_rows: List[list] = []
-        self._packed = 0  # rows already materialised in the arrays
-        self._dirty = True
+        # Rows registered since the last flush (cleared when packed).
+        self._pending_mbr_rows: List[tuple] = []
+        self._pending_fa_rows: List[float] = []
+        self._pending_circle_rows: List[tuple] = []
+        self._pending_vertex_rows: List[list] = []
+        self._dirty = False
         self._mbrs = np.empty((0, 4))
         self._false_areas = np.empty(0)
         self._circles = np.empty((0, 3))
@@ -66,6 +90,47 @@ class BatchApproxArrays:
 
     def __len__(self) -> int:
         return len(self._objects)
+
+    # -- adoption of pre-packed relation columns ----------------------------
+
+    @classmethod
+    def from_columnar(
+        cls, kind: str, stores: Sequence["BatchApproxArrays"]
+    ) -> "BatchApproxArrays":
+        """Combined encoder over pre-packed per-relation stores.
+
+        ``stores`` are the relation-level encoders cached by
+        ``ColumnarRelation.approx(kind)``.  Their finished arrays are
+        concatenated (convex matrices widened to the common width first);
+        no per-object packing kernel runs.  Objects not covered by any
+        store can still be registered incrementally afterwards.
+        """
+        out = cls(kind)
+        filled = []
+        for store in stores:
+            if store.kind != kind:
+                raise ValueError(
+                    f"cannot combine kind {store.kind!r} into {kind!r}"
+                )
+            store._flush()
+            if len(store):
+                filled.append(store)
+        if not filled:
+            return out
+        out.family = filled[0].family
+        for store in filled:
+            for obj in store._objects:
+                out._row_of[id(obj)] = len(out._objects)
+                out._objects.append(obj)
+        out._mbrs = np.concatenate([s._mbrs for s in filled])
+        out._false_areas = np.concatenate([s._false_areas for s in filled])
+        if out.family == "circle":
+            out._circles = np.concatenate([s._circles for s in filled])
+        elif out.family == "convex":
+            out._vx = _widen_concat([s._vx for s in filled])
+            out._vy = _widen_concat([s._vy for s in filled])
+            out._degenerate = np.concatenate([s._degenerate for s in filled])
+        return out
 
     # -- registration -------------------------------------------------------
 
@@ -91,70 +156,54 @@ class BatchApproxArrays:
         self._row_of[id(obj)] = row
         self._objects.append(obj)
         m = appr.mbr()
-        self._mbr_rows.append((m.xmin, m.ymin, m.xmax, m.ymax))
+        self._pending_mbr_rows.append((m.xmin, m.ymin, m.xmax, m.ymax))
         # Stored false area of §3.3: area(Appr(obj)) - area(obj).  Summing
         # two stored values is the exact arithmetic of the scalar test.
-        self._fa_rows.append(appr.area() - obj.polygon.area())
+        self._pending_fa_rows.append(appr.area() - obj.polygon.area())
         if self.family == "circle":
             c = appr.circle()
-            self._circle_rows.append((c.center[0], c.center[1], c.radius))
+            self._pending_circle_rows.append(
+                (c.center[0], c.center[1], c.radius)
+            )
         elif self.family == "convex":
-            self._vertex_rows.append(list(appr.convex_vertices()))
+            self._pending_vertex_rows.append(list(appr.convex_vertices()))
         self._dirty = True
         return row
 
     def _flush(self) -> None:
         """Materialise rows registered since the last flush.
 
-        Only the new tail is converted from Python values — a join that
-        drains candidates batch-by-batch keeps registering objects
+        Only the pending tail is converted from Python values — a join
+        that drains candidates batch-by-batch keeps registering objects
         between classify calls, and rebuilding the full arrays each time
         would make the packing cost quadratic in the object count.
         """
         if not self._dirty:
             return
-        start = self._packed
         new_mbrs = np.array(
-            self._mbr_rows[start:], dtype=float
+            self._pending_mbr_rows, dtype=float
         ).reshape(-1, 4)
-        new_fas = np.array(self._fa_rows[start:], dtype=float)
-        if start == 0:
-            self._mbrs = new_mbrs
-            self._false_areas = new_fas
-        else:
-            self._mbrs = np.concatenate([self._mbrs, new_mbrs])
-            self._false_areas = np.concatenate([self._false_areas, new_fas])
+        new_fas = np.array(self._pending_fa_rows, dtype=float)
+        self._mbrs = np.concatenate([self._mbrs, new_mbrs])
+        self._false_areas = np.concatenate([self._false_areas, new_fas])
+        self._pending_mbr_rows = []
+        self._pending_fa_rows = []
         if self.family == "circle":
             new_circles = np.array(
-                self._circle_rows[start:], dtype=float
+                self._pending_circle_rows, dtype=float
             ).reshape(-1, 3)
-            self._circles = (
-                new_circles
-                if start == 0
-                else np.concatenate([self._circles, new_circles])
-            )
+            self._circles = np.concatenate([self._circles, new_circles])
+            self._pending_circle_rows = []
         elif self.family == "convex":
             new_vx, new_vy, counts = pack_convex_rows(
-                self._vertex_rows[start:]
+                self._pending_vertex_rows
             )
-            new_degenerate = counts < 3
-            if start == 0:
-                self._vx, self._vy = new_vx, new_vy
-                self._degenerate = new_degenerate
-            else:
-                width = max(self._vx.shape[1], new_vx.shape[1])
-                if self._vx.shape[1] < width:
-                    self._vx = _widen_convex_rows(self._vx, width)
-                    self._vy = _widen_convex_rows(self._vy, width)
-                if new_vx.shape[1] < width:
-                    new_vx = _widen_convex_rows(new_vx, width)
-                    new_vy = _widen_convex_rows(new_vy, width)
-                self._vx = np.concatenate([self._vx, new_vx])
-                self._vy = np.concatenate([self._vy, new_vy])
-                self._degenerate = np.concatenate(
-                    [self._degenerate, new_degenerate]
-                )
-        self._packed = len(self._objects)
+            self._pending_vertex_rows = []
+            self._vx = _widen_concat([self._vx, new_vx])
+            self._vy = _widen_concat([self._vy, new_vy])
+            self._degenerate = np.concatenate(
+                [self._degenerate, counts < 3]
+            )
         self._dirty = False
 
     # -- packed columns -----------------------------------------------------

@@ -82,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
     join.add_argument("--grid", nargs=2, type=int, default=(4, 4),
                       metavar=("NX", "NY"),
                       help="tile grid for --workers > 1 (default 4 4)")
+    join.add_argument("--columnar", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="use the relation-level columnar store: "
+                           "pre-packed filter columns for --engine batched "
+                           "and the shared-memory wire format for "
+                           "--workers > 1 (--no-columnar selects per-join "
+                           "packing and pickled tile slices)")
     join.add_argument("--pairs", action="store_true",
                       help="print every result pair")
 
@@ -169,6 +176,7 @@ def cmd_join(args: argparse.Namespace) -> int:
             engine=args.engine,
             batch_size=args.batch_size,
             workers=args.workers,
+            columnar=args.columnar,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -187,6 +195,7 @@ def cmd_join(args: argparse.Namespace) -> int:
             f"parallel executor: {config.workers} workers, "
             f"{result.tile_tasks} tile tasks on a "
             f"{args.grid[0]}x{args.grid[1]} grid, "
+            f"wire format {result.wire_format}, "
             f"{result.elapsed_seconds * 1e3:.0f} ms"
         )
     else:

@@ -61,6 +61,14 @@ class JoinConfig:
     #: (:mod:`repro.core.parallel_exec`): 1 = serial in-process
     #: execution, N > 1 = tiles run on a process pool.
     workers: int = 1
+    #: use the relation-level columnar store
+    #: (:class:`repro.datasets.columnar.ColumnarRelation`): the batched
+    #: engine reads pre-packed approximation columns instead of packing
+    #: per join, and the parallel executor ships tiles as shared-memory
+    #: column views plus index arrays instead of pickled object slices.
+    #: A representation toggle only — results, order, and statistics are
+    #: identical either way.
+    columnar: bool = True
 
     def __post_init__(self):
         if self.exact_method not in EXACT_METHODS:
@@ -81,6 +89,10 @@ class JoinConfig:
         if self.batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if not isinstance(self.columnar, bool):
+            raise ValueError(
+                f"columnar must be a bool, got {self.columnar!r}"
             )
         if not isinstance(self.workers, int) or isinstance(self.workers, bool):
             raise ValueError(

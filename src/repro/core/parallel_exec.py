@@ -3,11 +3,28 @@
 :mod:`repro.core.parallel` *models* the paper's §6 CPU/I-O-parallelism
 outlook with a deterministic LPT-scheduling simulator; this module runs
 it for real.  The grid tiles produced by :mod:`repro.core.partition` are
-packed into picklable :class:`TileTask` units, shipped to a
-:class:`concurrent.futures.ProcessPoolExecutor`, joined locally in each
-worker with the configured engine (streaming or batched), de-duplicated
-with the same reference-tile rule as the serial partitioned join, and
-merged back into one deterministic result:
+shipped to a :class:`concurrent.futures.ProcessPoolExecutor`, joined
+locally in each worker with the configured engine (streaming or
+batched), de-duplicated with the same reference-tile rule as the serial
+partitioned join, and merged back into one deterministic result.
+
+Two wire formats carry a tile to its worker:
+
+* **Columnar shared memory** (``JoinConfig(columnar=True)``, default) —
+  the parent writes each relation's packed ring columns
+  (:class:`repro.datasets.columnar.RingColumns`) into one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment, once per
+  join.  A :class:`ColumnarTileTask` then pickles only the segment
+  descriptors plus two per-tile index arrays; workers map the segments
+  and gather their slice zero-copy, rebuilding polygons bit-identically
+  via :meth:`Polygon.from_normalized`.  Replicated objects cost nothing
+  extra on the wire (the columns ship once, indices are cheap), which
+  removes the pickling cost that used to dominate small joins.
+* **Pickled slices** (``columnar=False``, the legacy format) — each
+  :class:`TileTask` carries its relation slices as ``(oid, polygon)``
+  pairs; replicated objects are pickled once per tile they touch.
+
+Either way the guarantees are the same:
 
 * **Result transparency** — the merged pair list equals the serial
   partitioned join's (and therefore the plain multi-step join's up to
@@ -21,21 +38,31 @@ merged back into one deterministic result:
   objects in-process but still round-trips each task and outcome
   through :mod:`pickle`, so the single-worker path proves the IPC
   format without paying for a pool.
+* **Segment lifecycle** — shared segments are created before dispatch
+  and unlinked in a ``finally`` block, so success, worker failure, and
+  KeyboardInterrupt all leave ``/dev/shm`` clean
+  (``tests/test_parallel_exec_shm.py`` enforces it;
+  :func:`live_shared_segments` exposes the tracking set).
 
 ``tests/test_parallel_exec_equivalence.py`` is the differential suite
-that enforces both guarantees across engines, predicates, and worker
-counts.
+that enforces the transparency guarantees across engines, predicates,
+and worker counts.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from ..datasets.columnar import RingColumns, unpack_polygon
 from ..datasets.relations import SpatialObject, SpatialRelation
 from ..geometry import Polygon, Rect
 from .join import JoinConfig, SpatialJoinProcessor
@@ -44,6 +71,7 @@ from .partition import (
     PartitionStats,
     owning_tile,
     plan_tile_buckets,
+    plan_tile_indices,
     subrelation,
 )
 from .stats import MultiStepStats
@@ -54,7 +82,7 @@ WireObject = Tuple[int, Polygon]
 
 @dataclass(frozen=True)
 class TileTask:
-    """Picklable unit of work: one tile's local join.
+    """Picklable unit of work: one tile's local join (pickled slices).
 
     Carries everything a worker needs and nothing it does not: the two
     relation slices as ``(oid, polygon)`` pairs (cached approximations
@@ -68,6 +96,44 @@ class TileTask:
     name_b: str
     objects_a: Tuple[WireObject, ...]
     objects_b: Tuple[WireObject, ...]
+    space: Tuple[float, float, float, float]
+    grid: Tuple[int, int]
+    config: JoinConfig
+
+
+@dataclass(frozen=True)
+class SharedRelationSpec:
+    """Descriptor of one relation's ring columns in a shared segment.
+
+    Everything a worker needs to remap the columns: the segment name and
+    the three column lengths that fix the in-segment layout (see
+    :func:`_column_views`).  ``origin_pid`` lets attachers distinguish
+    the creating process (which keeps its resource-tracker registration)
+    from workers (which must unregister theirs — the parent owns the
+    unlink).
+    """
+
+    shm_name: str
+    relation_name: str
+    n_objects: int
+    n_rings: int
+    n_points: int
+    origin_pid: int
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnarTileTask:
+    """Unit of work in the columnar wire format: descriptors + indices.
+
+    Pickling this ships ~tens of bytes of segment descriptors plus two
+    index arrays; the geometry itself travels through shared memory.
+    """
+
+    tile: Tuple[int, int]
+    spec_a: SharedRelationSpec
+    spec_b: SharedRelationSpec
+    idx_a: np.ndarray
+    idx_b: np.ndarray
     space: Tuple[float, float, float, float]
     grid: Tuple[int, int]
     config: JoinConfig
@@ -92,11 +158,155 @@ class ParallelPartitionedJoinResult(PartitionedJoinResult):
     elapsed_seconds: float = 0.0
     #: per-tile wall-clock seconds measured inside the workers.
     tile_seconds: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: wire format used: "columnar-shm" or "pickled-slices".
+    wire_format: str = "pickled-slices"
+    #: bytes placed in shared memory (columnar wire format only).
+    shared_payload_bytes: int = 0
 
     @property
     def busy_seconds(self) -> float:
         """Total worker-side join time (the parallelisable work)."""
         return sum(self.tile_seconds.values())
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory segments for the columnar wire format.
+# ---------------------------------------------------------------------------
+
+#: names of segments created by this process and not yet unlinked.
+_LIVE_SEGMENTS: Set[str] = set()
+
+
+def live_shared_segments() -> frozenset:
+    """Names of shared segments this process still owns (for tests)."""
+    return frozenset(_LIVE_SEGMENTS)
+
+
+def _column_views(buf, n_objects: int, n_rings: int, n_points: int) -> RingColumns:
+    """Map the fixed segment layout back onto numpy column views.
+
+    Layout (contiguous, all 8-byte items): oids ``int64[n]``,
+    object_rings ``int64[n + 1]``, ring_offsets ``int64[n_rings + 1]``,
+    ring_xy ``float64[n_points, 2]``.
+    """
+    offset = 0
+    oids = np.ndarray((n_objects,), dtype=np.int64, buffer=buf, offset=offset)
+    offset += 8 * n_objects
+    object_rings = np.ndarray(
+        (n_objects + 1,), dtype=np.int64, buffer=buf, offset=offset
+    )
+    offset += 8 * (n_objects + 1)
+    ring_offsets = np.ndarray(
+        (n_rings + 1,), dtype=np.int64, buffer=buf, offset=offset
+    )
+    offset += 8 * (n_rings + 1)
+    ring_xy = np.ndarray(
+        (n_points, 2), dtype=np.float64, buffer=buf, offset=offset
+    )
+    return RingColumns(oids, object_rings, ring_offsets, ring_xy)
+
+
+def _segment_size(n_objects: int, n_rings: int, n_points: int) -> int:
+    return 8 * ((n_objects) + (n_objects + 1) + (n_rings + 1) + 2 * n_points)
+
+
+class ColumnarShipment:
+    """Parent-side owner of the per-relation shared-memory segments.
+
+    Creating the shipment copies each relation's packed ring columns
+    into one segment; :meth:`close` unlinks them all.  Callers must
+    close in a ``finally`` block — the lifecycle tests assert that no
+    ``/dev/shm`` entry survives success, worker failure, or interrupt.
+    """
+
+    def __init__(self, relations: Sequence[SpatialRelation]):
+        self.specs: List[SharedRelationSpec] = []
+        self._segments: List[shared_memory.SharedMemory] = []
+        try:
+            for relation in relations:
+                columns = relation.columnar().rings
+                n = len(columns.oids)
+                n_rings = len(columns.ring_offsets) - 1
+                n_points = len(columns.ring_xy)
+                shm = shared_memory.SharedMemory(
+                    create=True,
+                    size=max(8, _segment_size(n, n_rings, n_points)),
+                )
+                _LIVE_SEGMENTS.add(shm.name)
+                self._segments.append(shm)
+                views = _column_views(shm.buf, n, n_rings, n_points)
+                views.oids[:] = columns.oids
+                views.object_rings[:] = columns.object_rings
+                views.ring_offsets[:] = columns.ring_offsets
+                views.ring_xy[:] = columns.ring_xy
+                del views
+                self.specs.append(
+                    SharedRelationSpec(
+                        shm_name=shm.name,
+                        relation_name=relation.name,
+                        n_objects=n,
+                        n_rings=n_rings,
+                        n_points=n_points,
+                        origin_pid=os.getpid(),
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        return tuple(spec.shm_name for spec in self.specs)
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes shipped through shared memory."""
+        return sum(shm.size for shm in self._segments)
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.close()
+            finally:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+                _LIVE_SEGMENTS.discard(shm.name)
+
+
+def _attach_segment(spec: SharedRelationSpec) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifecycle.
+
+    Attaching registers the segment with the resource tracker.  Under
+    the ``fork`` start method (what :func:`_pool_context` prefers, and
+    the only method on the Linux targets) workers share the parent's
+    tracker process, so the duplicate registration is a set no-op and
+    the parent's unlink balances it — nothing to undo here.  Only a
+    *spawned* worker runs its own tracker; there the registration is
+    unregistered again so the worker's tracker does not report (and try
+    to clean) segments whose lifecycle the parent owns.
+    """
+    shm = shared_memory.SharedMemory(name=spec.shm_name)
+    if (
+        os.getpid() != spec.origin_pid
+        and multiprocessing.current_process().name != "MainProcess"
+        and _pool_context() is None
+    ):
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
+# ---------------------------------------------------------------------------
+# Task planning.
+# ---------------------------------------------------------------------------
 
 
 def plan_tile_tasks(
@@ -105,13 +315,13 @@ def plan_tile_tasks(
     grid: Tuple[int, int],
     config: JoinConfig,
 ) -> Tuple[List[TileTask], List[PartitionStats]]:
-    """Decompose a join into picklable per-tile tasks.
+    """Decompose a join into picklable per-tile tasks (pickled slices).
 
     Returns the tasks (non-empty tiles only, in tile-key order) and a
     :class:`PartitionStats` shell for *every* tile — empty tiles appear
     with zero counts, exactly as in the serial partitioned join.  The
     decomposition itself comes from the shared
-    :func:`~repro.core.partition.plan_tile_buckets`, so tile order and
+    :func:`~repro.core.partition.plan_tile_indices`, so tile order and
     replication can never diverge from the serial path.
     """
     space, plan = plan_tile_buckets(relation_a, relation_b, grid)
@@ -140,6 +350,57 @@ def plan_tile_tasks(
     return tasks, partitions
 
 
+def plan_columnar_tile_tasks(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    grid: Tuple[int, int],
+    config: JoinConfig,
+) -> Tuple[List[ColumnarTileTask], List[PartitionStats], ColumnarShipment]:
+    """Columnar decomposition: shared segments + per-tile index arrays.
+
+    Same tile plan as :func:`plan_tile_tasks` (both delegate to
+    :func:`~repro.core.partition.plan_tile_indices`), but each task
+    references the relations' shared ring columns instead of carrying
+    pickled object slices.  The caller owns the returned
+    :class:`ColumnarShipment` and must :meth:`~ColumnarShipment.close`
+    it once the outcomes are in — in a ``finally`` block.
+    """
+    space, plan = plan_tile_indices(relation_a, relation_b, grid)
+    shipment = ColumnarShipment((relation_a, relation_b))
+    try:
+        spec_a, spec_b = shipment.specs
+        tasks: List[ColumnarTileTask] = []
+        partitions: List[PartitionStats] = []
+        for key, idx_a, idx_b in plan:
+            partitions.append(
+                PartitionStats(tile=key, objects_a=len(idx_a),
+                               objects_b=len(idx_b))
+            )
+            if idx_a.size == 0 or idx_b.size == 0:
+                continue
+            tasks.append(
+                ColumnarTileTask(
+                    tile=key,
+                    spec_a=spec_a,
+                    spec_b=spec_b,
+                    idx_a=idx_a,
+                    idx_b=idx_b,
+                    space=(space.xmin, space.ymin, space.xmax, space.ymax),
+                    grid=grid,
+                    config=config,
+                )
+            )
+        return tasks, partitions, shipment
+    except BaseException:
+        shipment.close()
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution.
+# ---------------------------------------------------------------------------
+
+
 def _materialise(name: str, wire_objects: Sequence[WireObject]):
     """Rebuild a relation slice in the worker, preserving original oids."""
     return subrelation(
@@ -147,17 +408,42 @@ def _materialise(name: str, wire_objects: Sequence[WireObject]):
     )
 
 
-def run_tile_task(task: TileTask) -> TileOutcome:
-    """Execute one tile's local join (runs inside a worker process).
+def _materialise_columnar(
+    spec: SharedRelationSpec, indices: np.ndarray
+) -> SpatialRelation:
+    """Rebuild a tile's relation slice from the shared ring columns.
 
-    The local join is the ordinary multi-step pipeline with the task's
-    engine configuration; de-duplication applies the reference-tile rule
-    *in the worker*, so only owned pairs cross the process boundary.
+    Polygons copy their coordinates out of the segment
+    (bit-identically, via :meth:`Polygon.from_normalized`), so the
+    mapping is released before the join runs.
     """
-    start = time.perf_counter()
-    rel_a = _materialise(task.name_a, task.objects_a)
-    rel_b = _materialise(task.name_b, task.objects_b)
-    config = replace(task.config, workers=1)
+    shm = _attach_segment(spec)
+    columns = None
+    try:
+        columns = _column_views(
+            shm.buf, spec.n_objects, spec.n_rings, spec.n_points
+        )
+        objects = [
+            SpatialObject(int(columns.oids[i]), unpack_polygon(columns, int(i)))
+            for i in indices
+        ]
+    finally:
+        del columns  # release the exported buffer before closing
+        shm.close()
+    return subrelation(spec.relation_name, objects)
+
+
+def _finish_tile(task, rel_a, rel_b, start: float) -> TileOutcome:
+    """Tile-local join + reference-tile de-duplication (both formats).
+
+    The tile-local join runs with ``columnar=False``: its relation
+    slices are freshly rebuilt per task, so eagerly packing per-tile
+    columns would do approximation work for objects the tile's MBR join
+    never emits, with zero reuse.  Incremental packing of just the
+    candidate objects is the better representation here — the toggle is
+    semantics-free, so results and stats are unaffected.
+    """
+    config = replace(task.config, workers=1, columnar=False)
     result = SpatialJoinProcessor(config).join(rel_a, rel_b)
     space = Rect(*task.space)
     nx, ny = task.grid
@@ -174,12 +460,37 @@ def run_tile_task(task: TileTask) -> TileOutcome:
     )
 
 
-def _run_serial(tasks: Sequence[TileTask]) -> List[TileOutcome]:
+def run_tile_task(task: TileTask) -> TileOutcome:
+    """Execute one pickled-slice tile task (runs inside a worker).
+
+    The local join is the ordinary multi-step pipeline with the task's
+    engine configuration; de-duplication applies the reference-tile rule
+    *in the worker*, so only owned pairs cross the process boundary.
+    """
+    start = time.perf_counter()
+    rel_a = _materialise(task.name_a, task.objects_a)
+    rel_b = _materialise(task.name_b, task.objects_b)
+    return _finish_tile(task, rel_a, rel_b, start)
+
+
+def run_columnar_tile_task(task: ColumnarTileTask) -> TileOutcome:
+    """Execute one columnar tile task (runs inside a worker).
+
+    Identical join semantics to :func:`run_tile_task`; only the way the
+    relation slices reach the worker differs.
+    """
+    start = time.perf_counter()
+    rel_a = _materialise_columnar(task.spec_a, task.idx_a)
+    rel_b = _materialise_columnar(task.spec_b, task.idx_b)
+    return _finish_tile(task, rel_a, rel_b, start)
+
+
+def _run_serial(tasks: Sequence[object], runner: Callable) -> List[TileOutcome]:
     """workers=1: same tasks, in-process, still through the wire format."""
     outcomes = []
     for task in tasks:
         shipped = pickle.loads(pickle.dumps(task))
-        outcomes.append(pickle.loads(pickle.dumps(run_tile_task(shipped))))
+        outcomes.append(pickle.loads(pickle.dumps(runner(shipped))))
     return outcomes
 
 
@@ -188,6 +499,19 @@ def _pool_context():
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return None
+
+
+def _dispatch(
+    tasks: Sequence[object], runner: Callable, n_workers: int
+) -> List[TileOutcome]:
+    """Run the tasks on a pool (or in-process for the degenerate case)."""
+    if n_workers == 1 or not tasks:
+        return _run_serial(tasks, runner)
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(tasks)),
+        mp_context=_pool_context(),
+    ) as pool:
+        return list(pool.map(runner, tasks))
 
 
 def parallel_partitioned_join(
@@ -204,6 +528,8 @@ def parallel_partitioned_join(
     task order, so the merged output is deterministic regardless of
     which worker finishes first — identical pairs, order, and merged
     statistics as the serial :func:`partitioned_join` on the same grid.
+    ``config.columnar`` selects the wire format (see module docstring);
+    either format produces the same outcomes.
     """
     config = config or JoinConfig()
     if workers is not None:
@@ -211,16 +537,26 @@ def parallel_partitioned_join(
     n_workers = config.workers
 
     start = time.perf_counter()
-    tasks, partitions = plan_tile_tasks(relation_a, relation_b, grid, config)
-
-    if n_workers == 1 or not tasks:
-        outcomes = _run_serial(tasks)
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(n_workers, len(tasks)),
-            mp_context=_pool_context(),
-        ) as pool:
-            outcomes = list(pool.map(run_tile_task, tasks))
+    shipment: Optional[ColumnarShipment] = None
+    shared_bytes = 0
+    try:
+        if config.columnar:
+            tasks, partitions, shipment = plan_columnar_tile_tasks(
+                relation_a, relation_b, grid, config
+            )
+            runner: Callable = run_columnar_tile_task
+            wire_format = "columnar-shm"
+            shared_bytes = shipment.total_bytes
+        else:
+            tasks, partitions = plan_tile_tasks(
+                relation_a, relation_b, grid, config
+            )
+            runner = run_tile_task
+            wire_format = "pickled-slices"
+        outcomes = _dispatch(tasks, runner, n_workers)
+    finally:
+        if shipment is not None:
+            shipment.close()
 
     by_id_a = {obj.oid: obj for obj in relation_a}
     by_id_b = {obj.oid: obj for obj in relation_b}
@@ -246,4 +582,6 @@ def parallel_partitioned_join(
         tile_tasks=len(tasks),
         elapsed_seconds=time.perf_counter() - start,
         tile_seconds=tile_seconds,
+        wire_format=wire_format,
+        shared_payload_bytes=shared_bytes,
     )

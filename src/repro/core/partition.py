@@ -11,16 +11,24 @@ lower-left corner of the two MBRs' intersection rectangle.
 
 Execution here is sequential; the per-tile work statistics quantify the
 achievable parallel speedup (total work / slowest tile).  The grid
-decomposition helpers (:func:`joint_space`, :func:`tile_rects`,
-:func:`assign_to_tiles`, :func:`owning_tile`) are shared with the real
-multi-process executor in :mod:`repro.core.parallel_exec`, which runs
-the same tiles on a :class:`concurrent.futures.ProcessPoolExecutor`.
+decomposition is a vectorized index computation over the relations'
+columnar MBR columns (:func:`assign_tile_indices` /
+:func:`plan_tile_indices` — masks built from exactly the comparisons of
+:meth:`Rect.intersects`, so membership cannot diverge from the scalar
+reference-tile rule); object-list facades (:func:`assign_to_tiles`,
+:func:`plan_tile_buckets`) remain for callers that want materialised
+slices.  The helpers (:func:`joint_space`, :func:`tile_rects`,
+:func:`owning_tile`) are shared with the real multi-process executor in
+:mod:`repro.core.parallel_exec`, which runs the same tiles on a
+:class:`concurrent.futures.ProcessPoolExecutor`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..datasets.relations import SpatialObject, SpatialRelation
 from ..geometry import Rect
@@ -82,21 +90,24 @@ def partitioned_join(
     """Grid-partitioned multi-step join (results equal the plain join)."""
     config = config or JoinConfig()
     nx, ny = grid
-    space, plan = plan_tile_buckets(relation_a, relation_b, grid)
+    space, plan = plan_tile_indices(relation_a, relation_b, grid)
 
-    processor = SpatialJoinProcessor(config)
+    # Tile-local joins pack incrementally (see parallel_exec._finish_tile
+    # for the rationale); the relation-level columns still drive the
+    # grid decomposition above.
+    processor = SpatialJoinProcessor(replace(config, columnar=False))
     all_pairs: List[Tuple[SpatialObject, SpatialObject]] = []
     partitions: List[PartitionStats] = []
     merged = MultiStepStats()
-    for key, objs_a, objs_b in plan:
+    for key, idx_a, idx_b in plan:
         pstats = PartitionStats(
-            tile=key, objects_a=len(objs_a), objects_b=len(objs_b)
+            tile=key, objects_a=len(idx_a), objects_b=len(idx_b)
         )
         partitions.append(pstats)
-        if not objs_a or not objs_b:
+        if idx_a.size == 0 or idx_b.size == 0:
             continue
-        sub_a = subrelation(relation_a.name, objs_a)
-        sub_b = subrelation(relation_b.name, objs_b)
+        sub_a = subrelation_from_indices(relation_a, idx_a)
+        sub_b = subrelation_from_indices(relation_b, idx_b)
         result = processor.join(sub_a, sub_b)
         pstats.candidate_pairs = result.stats.candidate_pairs
         merged.merge(result.stats)
@@ -119,10 +130,36 @@ def plan_tile_buckets(
 ]:
     """The shared tile plan: ``(space, [(tile, objs_a, objs_b), ...])``.
 
-    Single source of truth for the grid decomposition consumed by both
-    the serial :func:`partitioned_join` and the multi-process executor
-    (:mod:`repro.core.parallel_exec`) — one definition of tile order,
-    replication, and which tiles exist, so the serial-vs-parallel
+    Object-list facade over :func:`plan_tile_indices` — kept for callers
+    that want materialised ``SpatialObject`` lists (e.g. the legacy
+    pickled-slice wire format).
+    """
+    space, plan = plan_tile_indices(relation_a, relation_b, grid)
+    objs_a = relation_a.objects
+    objs_b = relation_b.objects
+    return space, [
+        (key, [objs_a[i] for i in idx_a], [objs_b[i] for i in idx_b])
+        for key, idx_a, idx_b in plan
+    ]
+
+
+def plan_tile_indices(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    grid: Tuple[int, int],
+) -> Tuple[
+    Rect,
+    List[Tuple[Tuple[int, int], np.ndarray, np.ndarray]],
+]:
+    """The shared tile plan as index arrays into the relations' columns.
+
+    ``(space, [(tile, idx_a, idx_b), ...])`` where the index arrays
+    select each tile's objects out of ``relation.objects`` (and out of
+    every column of ``relation.columnar()``).  Single source of truth
+    for the grid decomposition consumed by the serial
+    :func:`partitioned_join` and both wire formats of the multi-process
+    executor (:mod:`repro.core.parallel_exec`) — one definition of tile
+    order, replication, and which tiles exist, so the serial-vs-parallel
     byte-identity guarantee cannot drift.
     """
     nx, ny = grid
@@ -130,22 +167,33 @@ def plan_tile_buckets(
         raise ValueError(f"grid must be at least 1x1, got {grid}")
     space = joint_space(relation_a, relation_b)
     tiles = tile_rects(space, nx, ny)
-    buckets_a = assign_to_tiles(relation_a, tiles)
-    buckets_b = assign_to_tiles(relation_b, tiles)
+    indices_a = assign_tile_indices(relation_a.columnar().mbrs, tiles)
+    indices_b = assign_tile_indices(relation_b.columnar().mbrs, tiles)
     return space, [
-        (key, buckets_a.get(key, []), buckets_b.get(key, []))
-        for key in tiles
+        (key, indices_a[key], indices_b[key]) for key in tiles
     ]
 
 
 def joint_space(
     relation_a: SpatialRelation, relation_b: SpatialRelation
 ) -> Rect:
-    """Bounding rectangle of both relations (the partitioned data space)."""
-    rects = [obj.mbr for obj in relation_a] + [obj.mbr for obj in relation_b]
-    if not rects:
+    """Bounding rectangle of both relations (the partitioned data space).
+
+    Computed as column-wise min/max over the relations' MBR columns —
+    the same floats ``Rect.union_all`` over the per-object MBRs yields.
+    """
+    columns = [
+        rel.columnar().mbrs for rel in (relation_a, relation_b) if len(rel)
+    ]
+    if not columns:
         return Rect(0, 0, 1, 1)
-    return Rect.union_all(rects)
+    mbrs = np.concatenate(columns)
+    return Rect(
+        float(mbrs[:, 0].min()),
+        float(mbrs[:, 1].min()),
+        float(mbrs[:, 2].max()),
+        float(mbrs[:, 3].max()),
+    )
 
 
 def tile_rects(space: Rect, nx: int, ny: int) -> Dict[Tuple[int, int], Rect]:
@@ -162,16 +210,48 @@ def tile_rects(space: Rect, nx: int, ny: int) -> Dict[Tuple[int, int], Rect]:
     return tiles
 
 
+def assign_tile_indices(
+    mbrs: np.ndarray, tiles: Dict[Tuple[int, int], Rect]
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """Replication as index arrays: rows of ``mbrs`` per intersected tile.
+
+    Vectorized over the ``(n, 4)`` MBR columns; each tile's mask uses
+    exactly the comparisons of :meth:`Rect.intersects` (closed
+    rectangles), so membership can never diverge from the scalar rule
+    that :func:`owning_tile` relies on.  Index arrays are ascending,
+    i.e. objects keep their relation order inside every tile.
+    """
+    out: Dict[Tuple[int, int], np.ndarray] = {}
+    if len(mbrs) == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return {key: empty for key in tiles}
+    xmin, ymin, xmax, ymax = mbrs.T
+    for key, tile in tiles.items():
+        mask = (
+            (xmin <= tile.xmax)
+            & (tile.xmin <= xmax)
+            & (ymin <= tile.ymax)
+            & (tile.ymin <= ymax)
+        )
+        out[key] = np.nonzero(mask)[0]
+    return out
+
+
 def assign_to_tiles(
     relation: SpatialRelation, tiles: Dict[Tuple[int, int], Rect]
 ) -> Dict[Tuple[int, int], List[SpatialObject]]:
-    """Replicate every object into each tile its MBR intersects."""
-    buckets: Dict[Tuple[int, int], List[SpatialObject]] = {}
-    for obj in relation:
-        for key, tile in tiles.items():
-            if obj.mbr.intersects(tile):
-                buckets.setdefault(key, []).append(obj)
-    return buckets
+    """Replicate every object into each tile its MBR intersects.
+
+    Object-list facade over :func:`assign_tile_indices` (tiles that
+    receive no objects are absent, as before).
+    """
+    index_map = assign_tile_indices(relation.columnar().mbrs, tiles)
+    objects = relation.objects
+    return {
+        key: [objects[i] for i in idx]
+        for key, idx in index_map.items()
+        if idx.size
+    }
 
 
 class _SubRelation(SpatialRelation):
@@ -185,6 +265,14 @@ class _SubRelation(SpatialRelation):
 def subrelation(name: str, objects: List[SpatialObject]) -> SpatialRelation:
     """A relation view over existing objects, keeping their oids intact."""
     return _SubRelation(name, objects)
+
+
+def subrelation_from_indices(
+    relation: SpatialRelation, indices: Sequence[int]
+) -> SpatialRelation:
+    """A relation view selected by index array (rows of the columns)."""
+    objects = relation.objects
+    return _SubRelation(relation.name, [objects[i] for i in indices])
 
 
 def owning_tile(

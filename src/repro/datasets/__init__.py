@@ -1,5 +1,6 @@
 """Synthetic cartographic datasets and the paper's test series."""
 
+from .columnar import ColumnarRelation, RingColumns, pack_rings, unpack_polygon
 from .generators import (
     DATA_SPACE,
     cartographic_polygons,
@@ -22,10 +23,14 @@ from .testseries import TestSeries, canonical_series, strategy_a, strategy_b
 
 __all__ = [
     "BW_PROFILE",
+    "ColumnarRelation",
     "DATA_SPACE",
     "EUROPE_PROFILE",
+    "RingColumns",
     "SpatialObject",
     "SpatialRelation",
+    "pack_rings",
+    "unpack_polygon",
     "TestSeries",
     "bw",
     "canonical_series",

@@ -1,0 +1,171 @@
+"""Columnar relation store: one numpy-backed representation per relation.
+
+The paper's storage model computes approximations once per object at
+insertion time and *stores* them in the SAM; :class:`ColumnarRelation`
+is the set-oriented equivalent.  For one :class:`SpatialRelation` it
+materialises, once, every numpy column the rest of the system consumes:
+
+* ``oids`` — ``(n,)`` object identifiers,
+* ``mbrs`` — ``(n, 4)`` object MBRs (xmin, ymin, xmax, ymax), the input
+  of the vectorized grid partitioner (:mod:`repro.core.partition`),
+* ``areas`` — ``(n,)`` exact object areas,
+* per-kind approximation arrays via :meth:`approx` — fully packed
+  :class:`~repro.approximations.batch.BatchApproxArrays` (approximation
+  MBRs, stored false areas, circle parameters, padded convex vertex
+  matrices) reused by the batched engine across joins,
+* ``rings`` — the flattened ring geometry (:class:`RingColumns`) that
+  the multi-process executor ships to workers through
+  :mod:`multiprocessing.shared_memory` instead of pickled object slices.
+
+Every column is copied bit-for-bit from the scalar accessors
+(``obj.mbr``, ``appr.area()``, vertex tuples), never re-derived, so
+array consumers see exactly the floats the scalar code paths see
+(``tests/test_columnar.py`` proves the round trip).  Row index ``i``
+always refers to ``relation.objects[i]``; tile decomposition and the
+worker wire format are therefore plain index arrays into these columns.
+
+Columns are built lazily by group — ``oids``/``mbrs`` eagerly (they are
+cheap and every consumer needs them), approximation arrays per kind on
+first use, ring geometry on first shipment — and cached on the store,
+which :meth:`SpatialRelation.columnar` in turn caches on the relation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from ..approximations.batch import BatchApproxArrays
+from ..geometry import Polygon
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .relations import SpatialRelation
+
+
+class RingColumns(NamedTuple):
+    """Flattened ring geometry of one relation (the shipping format).
+
+    ``object_rings[i] : object_rings[i + 1]`` is the ring range of object
+    ``i`` (ring 0 is the shell, the rest are holes);
+    ``ring_offsets[r] : ring_offsets[r + 1]`` is ring ``r``'s point range
+    in ``ring_xy``.  Four contiguous arrays — exactly what one
+    shared-memory segment holds.
+    """
+
+    oids: np.ndarray  #: ``(n,)`` int64 object ids
+    object_rings: np.ndarray  #: ``(n + 1,)`` int64 ring ranges per object
+    ring_offsets: np.ndarray  #: ``(n_rings + 1,)`` int64 point ranges
+    ring_xy: np.ndarray  #: ``(n_points, 2)`` float64 vertex coordinates
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self)
+
+
+def pack_rings(
+    objects: Sequence[object], oids: Optional[np.ndarray] = None
+) -> RingColumns:
+    """Flatten the objects' normalised rings into :class:`RingColumns`.
+
+    ``oids`` lets callers that already hold the id column (e.g.
+    :class:`ColumnarRelation`) reuse it instead of rebuilding it.
+    """
+    if oids is None:
+        oids = np.array([obj.oid for obj in objects], dtype=np.int64)
+    object_rings = np.empty(len(objects) + 1, dtype=np.int64)
+    object_rings[0] = 0
+    ring_lengths: List[int] = []
+    coords: List[tuple] = []
+    for i, obj in enumerate(objects):
+        rings = (obj.polygon.shell,) + obj.polygon.holes
+        for ring in rings:
+            ring_lengths.append(len(ring))
+            coords.extend(ring)
+        object_rings[i + 1] = object_rings[i] + len(rings)
+    ring_offsets = np.zeros(len(ring_lengths) + 1, dtype=np.int64)
+    np.cumsum(ring_lengths, out=ring_offsets[1:])
+    ring_xy = np.array(coords, dtype=np.float64).reshape(-1, 2)
+    return RingColumns(oids, object_rings, ring_offsets, ring_xy)
+
+
+def unpack_polygon(columns: RingColumns, index: int) -> Polygon:
+    """Rebuild object ``index``'s polygon from packed ring columns.
+
+    The packed rings are the already-normalised ``Polygon.shell`` /
+    ``Polygon.holes`` tuples, so reconstruction goes through
+    :meth:`Polygon.from_normalized` and the result is bit-identical to
+    the source polygon — re-running the constructor's normalisation
+    would flip the vertex order of zero-area (degenerate) rings.
+    """
+    first = int(columns.object_rings[index])
+    last = int(columns.object_rings[index + 1])
+    rings = []
+    for r in range(first, last):
+        span = columns.ring_xy[columns.ring_offsets[r]:columns.ring_offsets[r + 1]]
+        rings.append([(x, y) for x, y in span.tolist()])
+    return Polygon.from_normalized(rings[0], rings[1:])
+
+
+class ColumnarRelation:
+    """The numpy column store of one relation (see module docstring)."""
+
+    def __init__(self, relation: "SpatialRelation"):
+        self.name = relation.name
+        #: the relation's live object list — identity is the cache key
+        #: (:meth:`SpatialRelation.columnar` rebuilds when it changes).
+        self._source = relation.objects
+        #: snapshot of the objects at build time; row ``i`` describes
+        #: ``objects[i]``.  A snapshot, so lazily-built column groups
+        #: stay consistent with the eager ones even if the relation's
+        #: list is resized afterwards (which invalidates the cache).
+        self.objects = list(relation.objects)
+        self.oids = np.array([obj.oid for obj in self.objects], dtype=np.int64)
+        self.mbrs = np.array(
+            [
+                (m.xmin, m.ymin, m.xmax, m.ymax)
+                for m in (obj.mbr for obj in self.objects)
+            ],
+            dtype=np.float64,
+        ).reshape(-1, 4)
+        self._areas: Optional[np.ndarray] = None
+        self._rings: Optional[RingColumns] = None
+        self._approx: Dict[str, BatchApproxArrays] = {}
+        #: packing events per approximation kind; stays at 1 per kind
+        #: no matter how many joins read the store (regression-tested).
+        self.pack_counts: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    @property
+    def areas(self) -> np.ndarray:
+        """``(n,)`` exact object areas (``polygon.area()``)."""
+        if self._areas is None:
+            self._areas = np.array(
+                [obj.polygon.area() for obj in self.objects], dtype=np.float64
+            )
+        return self._areas
+
+    @property
+    def rings(self) -> RingColumns:
+        """Packed ring geometry (built once, on first shipment)."""
+        if self._rings is None:
+            self._rings = pack_rings(self.objects, self.oids)
+        return self._rings
+
+    def approx(self, kind: str) -> BatchApproxArrays:
+        """The fully-packed approximation columns of ``kind``.
+
+        Packs once per (relation, kind); repeated joins — and sweeps over
+        filter configurations naming the same kinds — reuse the arrays.
+        Row indices equal object indices.
+        """
+        encoder = self._approx.get(kind)
+        if encoder is None:
+            encoder = BatchApproxArrays(kind)
+            encoder.rows(self.objects)
+            encoder.mbrs  # materialise now: the pack cost belongs here
+            self._approx[kind] = encoder
+            self.pack_counts[kind] = self.pack_counts.get(kind, 0) + 1
+        return encoder

@@ -16,6 +16,7 @@ from ..exact.trstar_test import build_trstar
 from ..geometry import Polygon, Rect
 from ..index import RStarTree
 from ..index.trstar import TRStarTree
+from .columnar import ColumnarRelation
 from .generators import cartographic_polygons, relation_statistics
 
 
@@ -105,6 +106,35 @@ class SpatialRelation:
         for obj in self.objects:
             for kind in kinds:
                 obj.approximation(kind)
+
+    def columnar(
+        self, eager_kinds: Sequence[str] = ()
+    ) -> ColumnarRelation:
+        """The (cached) columnar store over this relation's objects.
+
+        Built on first use and reused by every consumer — the vectorized
+        partitioner, the batched engine's filter columns, and the
+        shared-memory wire format of the parallel executor.  The store
+        snapshots the object list at build time; the cache is
+        invalidated when the list is replaced or resized (in-place
+        *element* mutation is not supported — objects are immutable
+        after construction everywhere in this codebase).
+        ``eager_kinds`` forces the approximation columns of those kinds
+        to be packed now rather than on first join — generators and
+        loaders can call ``relation.columnar(eager_kinds=("5-C",
+        "MER"))`` to pay the packing cost at build time.
+        """
+        store = getattr(self, "_columnar", None)
+        if (
+            store is None
+            or store._source is not self.objects
+            or len(store) != len(self.objects)
+        ):
+            store = ColumnarRelation(self)
+            self._columnar = store
+        for kind in eager_kinds:
+            store.approx(kind)
+        return store
 
     def __repr__(self) -> str:
         stats = self.statistics()

@@ -28,6 +28,31 @@ Batched engine (``engine="batched"``)
     the streaming engine — ``tests/test_engine_equivalence.py`` is the
     differential harness that enforces this.
 
+Storage model — the columnar relation store
+    The paper computes each approximation once at insertion time and
+    *stores* it in the SAM; the system-wide analogue is
+    :class:`repro.datasets.columnar.ColumnarRelation`, built and cached
+    by ``relation.columnar()``.  It materialises, once per relation,
+    every numpy column the pipeline consumes: object ids, ``(n, 4)``
+    object-MBR rows (the input of the vectorized grid partitioner), the
+    per-kind approximation arrays (approximation MBRs, stored §3.3
+    false areas, circle parameters, padded convex vertex matrices —
+    packed with the :class:`~repro.approximations.batch.BatchApproxArrays`
+    kernels), and the flattened ring geometry that the parallel
+    executor ships to workers.  Every value is copied bit-for-bit from
+    the scalar accessors, so array consumers and scalar consumers see
+    the same floats.
+
+    With ``JoinConfig(columnar=True)`` (the default) the batched
+    engine's filter *adopts* the two relations' pre-packed columns
+    (``BatchApproxArrays.from_columnar``) instead of re-packing the
+    joined objects: packing happens once per (relation, kind), and a
+    sweep over many filter configurations — or repeated joins of the
+    same relation against different partners — pays no repack cost.
+    ``columnar=False`` restores the per-join incremental packing.  The
+    toggle is a representation choice only; results, order, and
+    statistics are identical either way (``tests/test_columnar.py``).
+
 Picking a batch size
     ``batch_size`` trades memory and latency against vectorisation
     efficiency.  Small batches (≤ 64) leave numpy dispatch overhead
@@ -72,9 +97,26 @@ Parallel execution — model and reality
     worker count compose freely: ``workers=4, engine="batched"`` is four
     processes each running the vectorised filter on its own tiles.
 
+Parallel wire format — shared columns instead of pickled slices
+    With ``columnar=True`` (default) the parent writes each relation's
+    packed ring columns into one
+    :class:`multiprocessing.shared_memory.SharedMemory` segment and a
+    tile task pickles only the segment descriptors plus two index
+    arrays; workers map the segments, gather their slice, and rebuild
+    polygons bit-identically (``Polygon.from_normalized``).  Replicated
+    objects therefore cost nothing extra on the wire — the geometry
+    ships once per join, not once per tile — which removes the
+    pickling cost that used to dominate small joins
+    (``benchmarks/bench_columnar.py`` measures the serialized-byte
+    reduction; ``tests/test_parallel_exec_shm.py`` pins the segment
+    lifecycle: unlinked on success, worker failure, and interrupt).
+    ``columnar=False`` (CLI ``--no-columnar``) keeps the legacy
+    ``(oid, polygon)`` pickled-slice tasks.
+
 Choosing the parallel executor from the CLI::
 
     python -m repro join a.wkt b.wkt --engine batched --workers 4 --grid 4 4
+    python -m repro join a.wkt b.wkt --workers 4 --no-columnar  # legacy wire
 """
 
 from .base import Engine, create_engine

@@ -26,7 +26,7 @@ pipeline.
 from __future__ import annotations
 
 from itertools import islice
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,7 +34,8 @@ from ..approximations import approx_intersect, false_area_test
 from ..approximations.batch import BatchApproxArrays
 from ..core.filters import FilterConfig, FilterOutcome
 from ..core.stats import MultiStepStats
-from ..datasets.relations import SpatialObject
+from ..datasets.columnar import ColumnarRelation
+from ..datasets.relations import SpatialObject, SpatialRelation
 from ..geometry.fastops import (
     circle_slack_bulk,
     convex_intersect_bulk,
@@ -67,16 +68,31 @@ class BatchGeometricFilter:
     Classifies aligned object lists into hit / false hit / remaining
     candidate with the same outcome per pair as
     :func:`repro.core.filters.geometric_filter`.
+
+    ``columnar`` holds the relations' pre-packed column stores
+    (:class:`~repro.datasets.columnar.ColumnarRelation`); when present,
+    per-kind encoders adopt those finished arrays instead of packing the
+    joined objects again (the values are bit-identical either way).
     """
 
-    def __init__(self, config: FilterConfig):
+    def __init__(
+        self,
+        config: FilterConfig,
+        columnar: Sequence[ColumnarRelation] = (),
+    ):
         self.config = config
+        self._columnar: Tuple[ColumnarRelation, ...] = tuple(columnar or ())
         self._encoders: Dict[str, BatchApproxArrays] = {}
 
     def encoder(self, kind: str) -> BatchApproxArrays:
         enc = self._encoders.get(kind)
         if enc is None:
-            enc = BatchApproxArrays(kind)
+            if self._columnar:
+                enc = BatchApproxArrays.from_columnar(
+                    kind, [store.approx(kind) for store in self._columnar]
+                )
+            else:
+                enc = BatchApproxArrays(kind)
             self._encoders[kind] = enc
         return enc
 
@@ -237,13 +253,45 @@ class BatchWithinFilter:
     filter's dominant eliminator — runs in bulk; the sound containment
     tests on approximations run scalar on the survivors, matching
     :func:`repro.core.within.within_filter` outcome-for-outcome.
+
+    With ``columnar`` stores supplied, the MBR rows are gathered from
+    the relations' pre-built object-MBR columns (same floats as the
+    scalar ``obj.mbr`` accessor) instead of rebuilt per batch.
     """
 
-    def __init__(self, config: FilterConfig):
+    def __init__(
+        self,
+        config: FilterConfig,
+        columnar: Sequence[ColumnarRelation] = (),
+    ):
         self.config = config
+        self._columnar: Tuple[ColumnarRelation, ...] = tuple(columnar or ())
+        self._row_of: Optional[Dict[int, int]] = None
+        self._mbr_columns: Optional[np.ndarray] = None
 
-    @staticmethod
-    def _mbr_rows(objs: Sequence[SpatialObject]) -> np.ndarray:
+    def _prime(self) -> None:
+        """Concatenate the stores' object-MBR columns (once per filter)."""
+        if self._row_of is not None:
+            return
+        row_of: Dict[int, int] = {}
+        base = 0
+        for store in self._columnar:
+            for i, obj in enumerate(store.objects):
+                row_of[id(obj)] = base + i
+            base += len(store)
+        self._row_of = row_of
+        self._mbr_columns = (
+            np.concatenate([store.mbrs for store in self._columnar])
+            if self._columnar
+            else np.empty((0, 4))
+        )
+
+    def _mbr_rows(self, objs: Sequence[SpatialObject]) -> np.ndarray:
+        if self._columnar:
+            self._prime()
+            rows = [self._row_of.get(id(obj)) for obj in objs]
+            if all(row is not None for row in rows):
+                return self._mbr_columns[np.array(rows, dtype=np.intp)]
         rows = np.empty((len(objs), 4))
         for i, obj in enumerate(objs):
             m = obj.mbr  # cached on the polygon
@@ -272,14 +320,42 @@ class BatchWithinFilter:
 
 
 class BatchedEngine(Engine):
-    """Vectorized block-at-a-time pipeline over the candidate stream."""
+    """Vectorized block-at-a-time pipeline over the candidate stream.
+
+    With ``config.columnar`` (the default) the filter reads the two
+    relations' cached column stores — packing happens once per
+    (relation, kind), not once per join — so sweeping many filter
+    configurations over the same relations pays no repack cost.
+    ``columnar=False`` falls back to per-join incremental packing.
+    """
 
     name = "batched"
 
+    def __init__(self, config=None):
+        super().__init__(config)
+        self._columnar_stores: Tuple[ColumnarRelation, ...] = ()
+
+    def execute(
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        stats: MultiStepStats,
+    ) -> Iterator[Pair]:
+        if self.config.columnar:
+            self._columnar_stores = (
+                relation_a.columnar(),
+                relation_b.columnar(),
+            )
+        else:
+            self._columnar_stores = ()
+        return super().execute(relation_a, relation_b, stats)
+
     def make_filter(self):
         if self.config.predicate == "within":
-            return BatchWithinFilter(self.config.filter)
-        return BatchGeometricFilter(self.config.filter)
+            return BatchWithinFilter(self.config.filter, self._columnar_stores)
+        return BatchGeometricFilter(
+            self.config.filter, self._columnar_stores
+        )
 
     def process(
         self, candidates: Iterator[Pair], stats: MultiStepStats

@@ -85,6 +85,32 @@ class Polygon:
         self._mbr: Optional[Rect] = None
         self._area: Optional[float] = None
 
+    @classmethod
+    def from_normalized(
+        cls,
+        shell: Sequence[Coord],
+        holes: Sequence[Sequence[Coord]] = (),
+    ) -> "Polygon":
+        """Adopt already-normalised rings without re-running normalisation.
+
+        For rings that came out of an existing polygon (``poly.shell``,
+        ``poly.holes``) and travelled through a lossless representation —
+        e.g. the columnar ring store shipped to worker processes.  The
+        constructor's cleaning is idempotent for such rings *except* for
+        zero-area rings, whose orientation normalisation would flip the
+        vertex order on every round trip; adopting verbatim keeps the
+        rebuilt polygon bit-identical to the source.  Callers must not
+        pass rings that violate the construction invariants.
+        """
+        poly = cls.__new__(cls)
+        poly.shell = tuple((float(x), float(y)) for x, y in shell)
+        poly.holes = tuple(
+            tuple((float(x), float(y)) for x, y in hole) for hole in holes
+        )
+        poly._mbr = None
+        poly._area = None
+        return poly
+
     # -- basic accessors ----------------------------------------------------
 
     @property

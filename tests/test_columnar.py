@@ -1,0 +1,277 @@
+"""The columnar relation store: round trips, caching, and semantics.
+
+Three guarantees under test:
+
+1. **Bit-for-bit columns** — every column of ``ColumnarRelation`` (and
+   of the per-kind ``BatchApproxArrays`` it packs) equals the scalar
+   accessors (``obj.mbr``, ``appr.area()``, vertex tuples) exactly,
+   including degenerate shapes (zero-area slivers, 2-point hulls).
+   Hypothesis drives the relation generator across seeds.
+2. **Pack once per (relation, kind)** — repeated batched joins over the
+   same relations never re-run the per-object packing (the ISSUE-3
+   repack-waste regression).
+3. **Representation-only** — ``columnar=True/False`` produce identical
+   results, order, and statistics for both engines and predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import random_relation_pair, stats_fingerprint
+from repro.approximations.batch import BatchApproxArrays
+from repro.core import JoinConfig, SpatialJoinProcessor
+from repro.datasets import ColumnarRelation, pack_rings, unpack_polygon
+from repro.datasets.relations import SpatialRelation
+from repro.geometry import Polygon
+
+KINDS = ("MBR", "RMBR", "4-C", "5-C", "CH", "MBC", "MBE", "MEC", "MER")
+
+relation_seeds = st.integers(min_value=0, max_value=10_000)
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# 1. Bit-for-bit column round trips (hypothesis over generated relations).
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(seed=relation_seeds)
+def test_base_columns_match_scalar_accessors(seed):
+    rel_a, rel_b = random_relation_pair(seed, n_objects=8)
+    for rel in (rel_a, rel_b):
+        store = rel.columnar()
+        assert store is rel.columnar(), "store must be cached"
+        assert len(store) == len(rel)
+        assert store.oids.tolist() == [obj.oid for obj in rel]
+        for i, obj in enumerate(rel):
+            m = obj.mbr
+            assert store.mbrs[i].tolist() == [m.xmin, m.ymin, m.xmax, m.ymax]
+            assert store.areas[i] == obj.polygon.area()
+
+
+@SETTINGS
+@given(seed=relation_seeds)
+def test_approx_columns_match_scalar_accessors(seed):
+    rel_a, _ = random_relation_pair(seed, n_objects=6)
+    store = rel_a.columnar()
+    for kind in KINDS:
+        enc = store.approx(kind)
+        assert len(enc) == len(rel_a)
+        for i, obj in enumerate(rel_a):
+            appr = obj.approximation(kind)
+            m = appr.mbr()
+            assert enc.mbrs[i].tolist() == [m.xmin, m.ymin, m.xmax, m.ymax]
+            # Exact equality: the stored false area is the same python
+            # float subtraction the scalar §3.3 test performs.
+            assert enc.false_areas[i] == appr.area() - obj.polygon.area()
+            if enc.family == "circle":
+                c = appr.circle()
+                assert enc.circles[i].tolist() == [
+                    c.center[0], c.center[1], c.radius,
+                ]
+            elif enc.family == "convex":
+                verts = appr.convex_vertices()
+                count = len(verts)
+                assert bool(enc.degenerate[i]) == (count < 3)
+                row = list(zip(enc.vx[i].tolist(), enc.vy[i].tolist()))
+                assert row[:count] == [(x, y) for x, y in verts]
+                if count:  # padding repeats the first vertex exactly
+                    assert all(p == row[0] for p in row[count:])
+
+
+@SETTINGS
+@given(seed=relation_seeds)
+def test_ring_columns_round_trip_polygons(seed):
+    rel_a, rel_b = random_relation_pair(seed, n_objects=8)
+    for rel in (rel_a, rel_b):
+        columns = rel.columnar().rings
+        assert columns.oids.tolist() == [obj.oid for obj in rel]
+        for i, obj in enumerate(rel):
+            rebuilt = unpack_polygon(columns, i)
+            assert rebuilt.shell == obj.polygon.shell
+            assert rebuilt.holes == obj.polygon.holes
+            assert rebuilt.area() == obj.polygon.area()
+            assert rebuilt.mbr() == obj.polygon.mbr()
+
+
+def test_ring_columns_round_trip_holes_and_degenerates():
+    """Holes and zero-area shells survive the packed-ring round trip."""
+    donut = Polygon(
+        [(0, 0), (10, 0), (10, 10), (0, 10)],
+        holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+    )
+    sliver = Polygon([(0, 0), (4, 0), (2, 0)])  # zero area, collinear
+    rel = SpatialRelation("H", [donut, sliver])
+    columns = pack_rings(rel.objects)
+    for i, obj in enumerate(rel):
+        rebuilt = unpack_polygon(columns, i)
+        # from_normalized adoption: bit-identical, even though the
+        # constructor would flip the zero-area shell's orientation.
+        assert rebuilt.shell == obj.polygon.shell
+        assert rebuilt.holes == obj.polygon.holes
+        assert rebuilt.area() == obj.polygon.area()
+
+
+# ---------------------------------------------------------------------------
+# 2. Packing happens once per (relation, kind).
+# ---------------------------------------------------------------------------
+
+
+def _register_spy(monkeypatch):
+    calls = []
+    original = BatchApproxArrays._register
+
+    def spy(self, obj):
+        calls.append(self.kind)
+        return original(self, obj)
+
+    monkeypatch.setattr(BatchApproxArrays, "_register", spy)
+    return calls
+
+
+def test_batched_join_packs_once_per_relation_and_kind(monkeypatch):
+    rel_a, rel_b = random_relation_pair(301, n_objects=10)
+    calls = _register_spy(monkeypatch)
+    config = JoinConfig(engine="batched", exact_method="vectorized")
+
+    first = SpatialJoinProcessor(config).join(rel_a, rel_b)
+    packed_once = len(calls)
+    assert packed_once > 0, "the filter kinds must have been packed"
+
+    again = SpatialJoinProcessor(config).join(rel_a, rel_b)
+    third = SpatialJoinProcessor(config).join(rel_a, rel_b)
+    assert len(calls) == packed_once, (
+        "repeated joins over the same relations must not re-pack"
+    )
+    assert first.id_pairs() == again.id_pairs() == third.id_pairs()
+
+    for rel in (rel_a, rel_b):
+        for kind, count in rel.columnar().pack_counts.items():
+            assert count == 1, (rel.name, kind)
+
+
+def test_same_relation_joined_against_two_partners_packs_once(monkeypatch):
+    rel_a, rel_b = random_relation_pair(302, n_objects=8)
+    _, rel_c = random_relation_pair(303, n_objects=8)
+    config = JoinConfig(engine="batched", exact_method="vectorized")
+    SpatialJoinProcessor(config).join(rel_a, rel_b)
+
+    calls = _register_spy(monkeypatch)
+    SpatialJoinProcessor(config).join(rel_a, rel_c)
+    # Only rel_c's objects are new; rel_a reuses its cached columns.
+    assert set(calls) <= {"5-C", "MER"}
+    kinds = {kind for kind in calls}
+    assert len(calls) == len(rel_c) * len(kinds)
+
+
+def test_legacy_mode_repacks_per_join(monkeypatch):
+    """columnar=False keeps the per-join incremental packing (contrast)."""
+    rel_a, rel_b = random_relation_pair(304, n_objects=10)
+    calls = _register_spy(monkeypatch)
+    config = JoinConfig(
+        engine="batched", exact_method="vectorized", columnar=False
+    )
+    SpatialJoinProcessor(config).join(rel_a, rel_b)
+    first = len(calls)
+    SpatialJoinProcessor(config).join(rel_a, rel_b)
+    assert len(calls) > first, "legacy mode re-registers every join"
+
+
+# ---------------------------------------------------------------------------
+# 3. The toggle changes the representation, never the semantics.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["streaming", "batched"])
+@pytest.mark.parametrize("predicate", ["intersects", "within"])
+def test_columnar_toggle_is_semantics_free(engine, predicate):
+    rel_a, rel_b = random_relation_pair(311, n_objects=10)
+    results = {}
+    for columnar in (True, False):
+        config = JoinConfig(
+            engine=engine,
+            exact_method="vectorized",
+            predicate=predicate,
+            batch_size=16,
+            columnar=columnar,
+        )
+        results[columnar] = SpatialJoinProcessor(config).join(rel_a, rel_b)
+    assert results[True].id_pairs() == results[False].id_pairs()
+    assert stats_fingerprint(results[True].stats) == stats_fingerprint(
+        results[False].stats
+    )
+
+
+def test_from_columnar_adopts_without_packing(monkeypatch):
+    rel_a, rel_b = random_relation_pair(305, n_objects=8)
+    store_a = rel_a.columnar().approx("CH")
+    store_b = rel_b.columnar().approx("CH")
+    calls = _register_spy(monkeypatch)
+    combined = BatchApproxArrays.from_columnar("CH", [store_a, store_b])
+    assert calls == []
+    assert len(combined) == len(rel_a) + len(rel_b)
+    objects = list(rel_a) + list(rel_b)
+    rows = combined.rows(objects)
+    assert calls == [], "adopted objects must be pure gathers"
+    assert rows.tolist() == list(range(len(objects)))
+    np.testing.assert_array_equal(
+        combined.mbrs, np.concatenate([store_a.mbrs, store_b.mbrs])
+    )
+    np.testing.assert_array_equal(
+        combined.false_areas,
+        np.concatenate([store_a.false_areas, store_b.false_areas]),
+    )
+    # A foreign object still registers incrementally on top.
+    extra = SpatialRelation("X", [Polygon([(0, 0), (1, 0), (0.5, 1)])])
+    row = combined.rows([extra.objects[0]])
+    assert row.tolist() == [len(objects)]
+    assert len(calls) == 1
+    assert combined.mbrs.shape == (len(objects) + 1, 4)
+
+
+def test_columnar_cache_invalidated_when_objects_replaced():
+    rel_a, _ = random_relation_pair(306, n_objects=4)
+    store = rel_a.columnar()
+    rel_a.objects = list(rel_a.objects)[:2]  # replace the backing list
+    fresh = rel_a.columnar()
+    assert fresh is not store
+    assert len(fresh) == 2
+
+
+def test_columnar_cache_invalidated_on_inplace_resize():
+    """Appending to the live object list must rebuild the columns."""
+    from repro.core import partitioned_join
+    from repro.datasets.relations import SpatialObject
+
+    rel_a, rel_b = random_relation_pair(307, n_objects=4)
+    store = rel_a.columnar()
+    rel_a.objects.append(
+        SpatialObject(len(rel_a), Polygon([(0, 0), (2, 0), (1, 2)]))
+    )
+    fresh = rel_a.columnar()
+    assert fresh is not store
+    assert len(fresh) == len(rel_a)
+    assert fresh.mbrs.shape == (len(rel_a), 4)
+    # End to end: the partitioned join (which partitions via the MBR
+    # columns) must see the appended object exactly like the plain join.
+    config = JoinConfig(exact_method="vectorized")
+    plain = SpatialJoinProcessor(config).join(rel_a, rel_b)
+    parted = partitioned_join(rel_a, rel_b, grid=(2, 2), config=config)
+    assert sorted(parted.id_pairs()) == sorted(plain.id_pairs())
+
+
+def test_config_rejects_non_bool_columnar():
+    with pytest.raises(ValueError, match="columnar"):
+        JoinConfig(columnar=1)

@@ -1,0 +1,151 @@
+"""Shared-memory lifecycle of the columnar wire format.
+
+The parent owns the segments: it creates them before dispatch and must
+unlink them whatever happens afterwards — success, a worker blowing up,
+or a KeyboardInterrupt mid-join.  These tests track segment names
+through :func:`repro.core.parallel_exec.live_shared_segments` and by
+attempting to re-attach after the join: a FileNotFoundError proves the
+``/dev/shm`` entry is gone.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import pytest
+
+from helpers import random_relation_pair
+from repro.core import JoinConfig, SpatialJoinProcessor
+from repro.core import parallel_exec
+from repro.core.parallel_exec import (
+    ColumnarShipment,
+    live_shared_segments,
+    parallel_partitioned_join,
+)
+
+pytestmark = pytest.mark.parallel
+
+
+def _config() -> JoinConfig:
+    return JoinConfig(exact_method="vectorized", engine="batched",
+                      batch_size=16)
+
+
+def _capture_segments(monkeypatch):
+    """Record every segment name any ColumnarShipment creates."""
+    created = []
+    original = ColumnarShipment.__init__
+
+    def spy(self, relations):
+        original(self, relations)
+        created.extend(self.segment_names)
+
+    monkeypatch.setattr(ColumnarShipment, "__init__", spy)
+    return created
+
+
+def _assert_all_unlinked(names):
+    assert names, "the join must have created shared segments"
+    assert live_shared_segments() == frozenset()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_shipment_create_exposes_and_close_unlinks():
+    rel_a, rel_b = random_relation_pair(401, n_objects=6)
+    shipment = ColumnarShipment((rel_a, rel_b))
+    names = shipment.segment_names
+    assert len(names) == 2
+    assert set(names) <= live_shared_segments()
+    assert shipment.total_bytes > 0
+    # While open, anyone may attach by name.
+    probe = shared_memory.SharedMemory(name=names[0])
+    probe.close()
+    shipment.close()
+    _assert_all_unlinked(names)
+    shipment.close()  # idempotent
+
+
+def test_segments_unlinked_on_success(monkeypatch):
+    created = _capture_segments(monkeypatch)
+    rel_a, rel_b = random_relation_pair(402, n_objects=10)
+    baseline = SpatialJoinProcessor(_config()).join(rel_a, rel_b)
+    result = parallel_partitioned_join(
+        rel_a, rel_b, grid=(3, 3), config=_config(), workers=2
+    )
+    assert result.wire_format == "columnar-shm"
+    assert result.shared_payload_bytes > 0
+    assert sorted(result.id_pairs()) == sorted(baseline.id_pairs())
+    _assert_all_unlinked(created)
+
+
+def test_segments_unlinked_on_workers_1_degenerate_path(monkeypatch):
+    created = _capture_segments(monkeypatch)
+    rel_a, rel_b = random_relation_pair(403, n_objects=8)
+    result = parallel_partitioned_join(
+        rel_a, rel_b, grid=(2, 2), config=_config(), workers=1
+    )
+    assert result.wire_format == "columnar-shm"
+    _assert_all_unlinked(created)
+
+
+def test_segments_unlinked_on_worker_failure(monkeypatch):
+    created = _capture_segments(monkeypatch)
+
+    def exploding_dispatch(tasks, runner, n_workers):
+        raise RuntimeError("worker crashed")
+
+    monkeypatch.setattr(parallel_exec, "_dispatch", exploding_dispatch)
+    rel_a, rel_b = random_relation_pair(404, n_objects=8)
+    with pytest.raises(RuntimeError, match="worker crashed"):
+        parallel_partitioned_join(
+            rel_a, rel_b, grid=(3, 3), config=_config(), workers=2
+        )
+    _assert_all_unlinked(created)
+
+
+def test_segments_unlinked_on_keyboard_interrupt(monkeypatch):
+    created = _capture_segments(monkeypatch)
+
+    def interrupted_dispatch(tasks, runner, n_workers):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(parallel_exec, "_dispatch", interrupted_dispatch)
+    rel_a, rel_b = random_relation_pair(405, n_objects=8)
+    with pytest.raises(KeyboardInterrupt):
+        parallel_partitioned_join(
+            rel_a, rel_b, grid=(3, 3), config=_config(), workers=2
+        )
+    _assert_all_unlinked(created)
+
+
+def test_columnar_tasks_and_outcomes_are_picklable():
+    """The columnar IPC contract: tasks round-trip while segments live."""
+    import pickle
+
+    from repro.core.parallel_exec import (
+        plan_columnar_tile_tasks,
+        run_columnar_tile_task,
+    )
+
+    rel_a, rel_b = random_relation_pair(406, n_objects=10)
+    tasks, partitions, shipment = plan_columnar_tile_tasks(
+        rel_a, rel_b, (3, 3), _config()
+    )
+    try:
+        assert tasks, "generator produced no joinable tiles"
+        assert len(partitions) == 9
+        for task in tasks:
+            clone = pickle.loads(pickle.dumps(task))
+            assert clone.tile == task.tile
+            assert clone.spec_a == task.spec_a
+            assert clone.idx_a.tolist() == task.idx_a.tolist()
+            assert clone.idx_b.tolist() == task.idx_b.tolist()
+            outcome = run_columnar_tile_task(clone)
+            again = pickle.loads(pickle.dumps(outcome))
+            assert again.tile == task.tile
+            assert again.id_pairs == outcome.id_pairs
+    finally:
+        shipment.close()
+    _assert_all_unlinked(list(shipment.segment_names))
