@@ -6,10 +6,12 @@
 #   make bench-engine  - streaming-vs-batched engine benchmark, quick scale
 #   make bench-parallel - measured vs LPT-modeled parallel speedup, quick scale
 #   make bench-columnar - columnar wire-format + repack benchmark, quick scale
+#   make bench-refine  - scalar vs batched exact-step benchmark, quick scale
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-parallel bench-engine bench-parallel bench-columnar
+.PHONY: test test-fast test-parallel bench-engine bench-parallel \
+	bench-columnar bench-refine
 
 test:
 	$(PYTEST) -x -q
@@ -28,3 +30,6 @@ bench-parallel:
 
 bench-columnar:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_columnar.py
+
+bench-refine:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_refine.py

@@ -75,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            "vectorized batched filter (see repro.engine)")
     join.add_argument("--batch-size", type=int, default=1024,
                       help="candidate pairs per block for --engine batched")
+    join.add_argument("--exact-batch", type=int, default=1,
+                      help="remaining candidates per refinement batch; 1 "
+                           "(default) runs the scalar per-pair exact "
+                           "processor, N > 1 routes batches through the "
+                           "vectorized columnar refinement kernels "
+                           "(requires --exact vectorized)")
     join.add_argument("--workers", type=int, default=1,
                       help="worker processes for the partitioned tile "
                            "executor; 1 (default) runs the ordinary serial "
@@ -175,6 +181,7 @@ def cmd_join(args: argparse.Namespace) -> int:
             predicate=args.predicate,
             engine=args.engine,
             batch_size=args.batch_size,
+            exact_batch=args.exact_batch,
             workers=args.workers,
             columnar=args.columnar,
         )
@@ -206,6 +213,11 @@ def cmd_join(args: argparse.Namespace) -> int:
     print(f"  filter false hits:      {stats.filter_false_hits}")
     print(f"  filter hits:            {stats.filter_hits}")
     print(f"  exact tests:            {stats.remaining_candidates}")
+    if stats.refine_batches:
+        print(
+            f"  refinement batches:     {stats.refine_batches} "
+            f"({stats.refine_batch_pairs} pairs batched)"
+        )
     print(f"  identification rate:    {stats.identification_rate():.0%}")
     if args.pairs:
         for a, b in result.id_pairs():

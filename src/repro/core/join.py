@@ -57,6 +57,14 @@ class JoinConfig:
     engine: str = "streaming"
     #: candidate pairs drained per block by the batched engine.
     batch_size: int = 1024
+    #: remaining candidates accumulated per refinement batch (step 3).
+    #: 1 (default) resolves per pair with the scalar processor named by
+    #: ``exact_method``; N > 1 routes batches of N through the vectorized
+    #: columnar refinement kernels (:mod:`repro.exact.refine`), which
+    #: implement the ``vectorized`` semantics — so N > 1 requires
+    #: ``exact_method='vectorized'``.  Results, order, and the Figure-1
+    #: statistics are identical either way.
+    exact_batch: int = 1
     #: worker processes for the partitioned tile executor
     #: (:mod:`repro.core.parallel_exec`): 1 = serial in-process
     #: execution, N > 1 = tiles run on a process pool.
@@ -89,6 +97,29 @@ class JoinConfig:
         if self.batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if not isinstance(self.exact_batch, int) or isinstance(
+            self.exact_batch, bool
+        ):
+            raise ValueError(
+                f"exact_batch must be an integer, got {self.exact_batch!r}; "
+                "valid choices: 1 (per-pair scalar refinement) or N > 1 "
+                "(batched columnar refinement)"
+            )
+        if self.exact_batch < 1:
+            raise ValueError(
+                f"exact_batch must be >= 1, got {self.exact_batch}; "
+                "valid choices: 1 (per-pair scalar refinement) or N > 1 "
+                "(batched columnar refinement)"
+            )
+        if self.exact_batch > 1 and self.exact_method != "vectorized":
+            raise ValueError(
+                f"exact_batch={self.exact_batch} requires "
+                f"exact_method='vectorized' (the batched refinement "
+                f"kernels implement the vectorized semantics), got "
+                f"exact_method={self.exact_method!r}; the "
+                f"{self.exact_method!r} processor is a per-pair backend "
+                "and runs with exact_batch=1"
             )
         if not isinstance(self.columnar, bool):
             raise ValueError(
@@ -144,11 +175,20 @@ class SpatialJoinProcessor:
     # -- public API ---------------------------------------------------------
 
     def join(
-        self, relation_a: SpatialRelation, relation_b: SpatialRelation
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        refinement=None,
     ) -> JoinResult:
-        """Intersection join of two relations."""
+        """Intersection join of two relations.
+
+        ``refinement`` optionally injects a pre-built
+        :class:`~repro.engine.base.RefinementStep` — the parallel tile
+        executor uses this to refine directly on the shared-memory ring
+        columns shipped to the worker instead of repacking per tile.
+        """
         stats = MultiStepStats()
-        pairs = list(self._pipeline(relation_a, relation_b, stats))
+        pairs = list(self._pipeline(relation_a, relation_b, stats, refinement))
         return JoinResult(pairs=pairs, stats=stats)
 
     def join_iter(
@@ -164,13 +204,16 @@ class SpatialJoinProcessor:
         relation_a: SpatialRelation,
         relation_b: SpatialRelation,
         stats: MultiStepStats,
+        refinement=None,
     ) -> Iterator[Tuple[SpatialObject, SpatialObject]]:
         # Imported lazily: repro.engine pulls in the concrete engines,
         # which themselves import from repro.core.
         from ..engine import create_engine
 
         engine = create_engine(self.config)
-        yield from engine.execute(relation_a, relation_b, stats)
+        yield from engine.execute(
+            relation_a, relation_b, stats, refinement=refinement
+        )
 
 
 def nested_loops_join(

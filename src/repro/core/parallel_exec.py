@@ -408,14 +408,28 @@ def _materialise(name: str, wire_objects: Sequence[WireObject]):
     )
 
 
+def _objects_from_columns(
+    columns: RingColumns, indices: np.ndarray
+) -> List[SpatialObject]:
+    """Rebuild the indexed objects from mapped ring columns.
+
+    Polygons copy their coordinates out of the columns (bit-identically,
+    via :meth:`Polygon.from_normalized`), so the returned objects hold
+    no references into the backing buffer.
+    """
+    return [
+        SpatialObject(int(columns.oids[i]), unpack_polygon(columns, int(i)))
+        for i in indices
+    ]
+
+
 def _materialise_columnar(
     spec: SharedRelationSpec, indices: np.ndarray
 ) -> SpatialRelation:
     """Rebuild a tile's relation slice from the shared ring columns.
 
-    Polygons copy their coordinates out of the segment
-    (bit-identically, via :meth:`Polygon.from_normalized`), so the
-    mapping is released before the join runs.
+    The segment mapping is released before the join runs (the rebuilt
+    objects are copies, see :func:`_objects_from_columns`).
     """
     shm = _attach_segment(spec)
     columns = None
@@ -423,17 +437,14 @@ def _materialise_columnar(
         columns = _column_views(
             shm.buf, spec.n_objects, spec.n_rings, spec.n_points
         )
-        objects = [
-            SpatialObject(int(columns.oids[i]), unpack_polygon(columns, int(i)))
-            for i in indices
-        ]
+        objects = _objects_from_columns(columns, indices)
     finally:
         del columns  # release the exported buffer before closing
         shm.close()
     return subrelation(spec.relation_name, objects)
 
 
-def _finish_tile(task, rel_a, rel_b, start: float) -> TileOutcome:
+def _finish_tile(task, rel_a, rel_b, start: float, refinement=None) -> TileOutcome:
     """Tile-local join + reference-tile de-duplication (both formats).
 
     The tile-local join runs with ``columnar=False``: its relation
@@ -442,9 +453,15 @@ def _finish_tile(task, rel_a, rel_b, start: float) -> TileOutcome:
     never emits, with zero reuse.  Incremental packing of just the
     candidate objects is the better representation here — the toggle is
     semantics-free, so results and stats are unaffected.
+
+    ``refinement`` optionally injects a pre-built refinement step (the
+    columnar wire format binds one to the mapped shared-memory ring
+    columns so batched refinement reads the shipped geometry directly).
     """
     config = replace(task.config, workers=1, columnar=False)
-    result = SpatialJoinProcessor(config).join(rel_a, rel_b)
+    result = SpatialJoinProcessor(config).join(
+        rel_a, rel_b, refinement=refinement
+    )
     space = Rect(*task.space)
     nx, ny = task.grid
     owned = [
@@ -477,12 +494,69 @@ def run_columnar_tile_task(task: ColumnarTileTask) -> TileOutcome:
     """Execute one columnar tile task (runs inside a worker).
 
     Identical join semantics to :func:`run_tile_task`; only the way the
-    relation slices reach the worker differs.
+    relation slices reach the worker differs.  With batched refinement
+    configured (``exact_batch > 1``) the segments stay mapped through
+    the join so the exact step consumes the shipped ring columns
+    directly.
     """
     start = time.perf_counter()
+    if task.config.exact_batch > 1:
+        return _run_columnar_tile_refined(task, start)
     rel_a = _materialise_columnar(task.spec_a, task.idx_a)
     rel_b = _materialise_columnar(task.spec_b, task.idx_b)
     return _finish_tile(task, rel_a, rel_b, start)
+
+
+def _run_columnar_tile_refined(task: ColumnarTileTask, start: float) -> TileOutcome:
+    """Columnar tile task with batched refinement on the shipped columns.
+
+    Keeps both shared segments mapped for the duration of the tile-local
+    join and hands the engine a :class:`~repro.exact.refine.BatchedRefinement`
+    whose :class:`~repro.exact.refine.RingGeometry` indexes the mapped
+    column views — the exact step gathers vertex coordinates straight
+    out of shared memory instead of re-deriving edges from the rebuilt
+    polygons.  Every array the refinement caches is a copy, so all views
+    are droppable (and the segments closable) as soon as the join ends.
+    """
+    from ..exact.refine import BatchedRefinement, RingGeometry
+
+    segments = []
+    refinement = None
+    columns_a = columns_b = None
+    try:
+        shm_a = _attach_segment(task.spec_a)
+        segments.append(shm_a)
+        shm_b = _attach_segment(task.spec_b)
+        segments.append(shm_b)
+        spec_a, spec_b = task.spec_a, task.spec_b
+        columns_a = _column_views(
+            shm_a.buf, spec_a.n_objects, spec_a.n_rings, spec_a.n_points
+        )
+        columns_b = _column_views(
+            shm_b.buf, spec_b.n_objects, spec_b.n_rings, spec_b.n_points
+        )
+        objects_a = _objects_from_columns(columns_a, task.idx_a)
+        objects_b = _objects_from_columns(columns_b, task.idx_b)
+        rel_a = subrelation(spec_a.relation_name, objects_a)
+        rel_b = subrelation(spec_b.relation_name, objects_b)
+        refinement = BatchedRefinement(
+            task.config,
+            RingGeometry(
+                columns_a,
+                {id(o): int(r) for o, r in zip(objects_a, task.idx_a)},
+            ),
+            RingGeometry(
+                columns_b,
+                {id(o): int(r) for o, r in zip(objects_b, task.idx_b)},
+            ),
+        )
+        return _finish_tile(task, rel_a, rel_b, start, refinement=refinement)
+    finally:
+        if refinement is not None:
+            refinement.release()
+        del columns_a, columns_b  # release exported buffers before closing
+        for shm in segments:
+            shm.close()
 
 
 def _run_serial(tasks: Sequence[object], runner: Callable) -> List[TileOutcome]:

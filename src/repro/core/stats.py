@@ -38,6 +38,11 @@ class MultiStepStats:
     progressive_tests: int = 0
     false_area_tests: int = 0
 
+    #: step 3 — batched refinement pipeline (``JoinConfig.exact_batch > 1``).
+    refine_batches: int = 0         # batched kernel invocations
+    refine_batch_pairs: int = 0     # candidates resolved through a batch
+    refine_fallback_pairs: int = 0  # batch members resolved by scalar code
+
     @property
     def filter_hits(self) -> int:
         return self.filter_hits_progressive + self.filter_hits_false_area
@@ -86,6 +91,18 @@ class MultiStepStats:
             f"MBR-join reported {self.mbr_join.output_pairs} pairs but "
             f"{self.candidate_pairs} entered the filter"
         )
+        assert (
+            0 <= self.refine_fallback_pairs <= self.refine_batch_pairs
+            <= self.exact_tests
+        ), (
+            f"refinement counters leak candidates: {self.refine_batch_pairs} "
+            f"batched pairs ({self.refine_fallback_pairs} fallbacks) vs "
+            f"{self.exact_tests} exact tests"
+        )
+        assert (self.refine_batches == 0) == (self.refine_batch_pairs == 0), (
+            f"{self.refine_batches} refinement batches resolved "
+            f"{self.refine_batch_pairs} pairs (every batch is non-empty)"
+        )
 
     def merge(self, other: "MultiStepStats") -> "MultiStepStats":
         """Fold ``other``'s counters into this instance (returns ``self``).
@@ -113,6 +130,9 @@ class MultiStepStats:
         self.conservative_tests += other.conservative_tests
         self.progressive_tests += other.progressive_tests
         self.false_area_tests += other.false_area_tests
+        self.refine_batches += other.refine_batches
+        self.refine_batch_pairs += other.refine_batch_pairs
+        self.refine_fallback_pairs += other.refine_fallback_pairs
         for op, count in other.exact_ops.counts.items():
             self.exact_ops.count(op, count)
         return self

@@ -77,6 +77,35 @@ or from code via :class:`repro.core.join.JoinConfig`::
 paper's test series; the batched filter step is typically ≥ 3× faster at
 batch sizes ≥ 256.
 
+Refinement pipeline — the exact step as its own layer
+    Step 3 (the exact-geometry test on remaining candidates) is a
+    strategy of its own, independent of the engine: a
+    :class:`~repro.engine.base.RefinementStep` resolves candidates, and
+    the order-preserving :class:`~repro.engine.base.RefinementPipeline`
+    drives it inside either engine, so engine choice and refinement
+    strategy compose freely.  ``JoinConfig(exact_batch=1)`` (default)
+    selects :class:`~repro.engine.base.PerPairRefinement` — the paper's
+    scalar processors (TR*-tree, plane sweep, quadratic, vectorized
+    oracle) one pair at a time, exactly as before.
+    ``exact_batch=N > 1`` (CLI ``join --exact-batch N``, requires
+    ``--exact vectorized``) accumulates remaining candidates into
+    batches of N and resolves them with the columnar kernels of
+    :mod:`repro.exact.refine`: per-object edge arrays gathered once
+    from the relation's flattened ring columns
+    (:class:`~repro.datasets.columnar.RingColumns`), MBR-clipped
+    edge-pair pruning before the bulk segment-intersection matrix, and
+    one bulk numpy point-in-polygon call per batch for the containment
+    fallback.  Results, order, and the Figure-1 statistics are
+    identical to the per-pair backends
+    (``tests/test_refine_equivalence.py`` is the differential suite);
+    ``MultiStepStats.refine_batches`` / ``refine_batch_pairs`` /
+    ``refine_fallback_pairs`` report how the work was executed.  In the
+    multi-process executor, workers bind the refinement step directly
+    to the shared-memory mapped ring columns of their tile task, so the
+    exact step reads the shipped geometry without re-deriving edges
+    from the rebuilt polygons.  ``benchmarks/bench_refine.py`` measures
+    the exact-step speedup (report in ``benchmarks/reports/refine.txt``).
+
 Parallel execution — model and reality
     Both engines describe how *one* process drains the candidate
     stream; parallelism is layered on top of them via the grid
@@ -119,7 +148,13 @@ Choosing the parallel executor from the CLI::
     python -m repro join a.wkt b.wkt --workers 4 --no-columnar  # legacy wire
 """
 
-from .base import Engine, create_engine
+from .base import (
+    Engine,
+    PerPairRefinement,
+    RefinementPipeline,
+    RefinementStep,
+    create_engine,
+)
 from .batched import (
     CANDIDATE,
     FALSE_HIT,
@@ -138,6 +173,9 @@ __all__ = [
     "BatchWithinFilter",
     "BatchedEngine",
     "Engine",
+    "PerPairRefinement",
+    "RefinementPipeline",
+    "RefinementStep",
     "StreamingEngine",
     "create_engine",
 ]

@@ -18,9 +18,10 @@ an ulp-scale margin of tangency, ellipses (MBE), and false-area screen
 survivors — fall back to the scalar code, so the classification of every
 candidate pair (and therefore every counter in
 :class:`~repro.core.stats.MultiStepStats`) is exactly the streaming
-engine's.  Remaining candidates are handed to the scalar exact-geometry
-processors one at a time, preserving the result order of the streaming
-pipeline.
+engine's.  Remaining candidates are handed to the refinement pipeline
+(:class:`~repro.engine.base.RefinementPipeline`): per-pair scalar
+processors at ``exact_batch=1``, batched columnar kernels above — either
+way the result order of the streaming pipeline is preserved.
 """
 
 from __future__ import annotations
@@ -340,6 +341,7 @@ class BatchedEngine(Engine):
         relation_a: SpatialRelation,
         relation_b: SpatialRelation,
         stats: MultiStepStats,
+        refinement=None,
     ) -> Iterator[Pair]:
         if self.config.columnar:
             self._columnar_stores = (
@@ -348,7 +350,9 @@ class BatchedEngine(Engine):
             )
         else:
             self._columnar_stores = ()
-        return super().execute(relation_a, relation_b, stats)
+        return super().execute(
+            relation_a, relation_b, stats, refinement=refinement
+        )
 
     def make_filter(self):
         if self.config.predicate == "within":
@@ -358,25 +362,25 @@ class BatchedEngine(Engine):
         )
 
     def process(
-        self, candidates: Iterator[Pair], stats: MultiStepStats
+        self, candidates: Iterator[Pair], stats: MultiStepStats, refinement=None
     ) -> Iterator[Pair]:
         batch_filter = self.make_filter()
         batch_size = self.config.batch_size
+        refine = self.refinement_pipeline(stats, refinement)
         while True:
             batch = list(islice(candidates, batch_size))
             if not batch:
+                yield from refine.flush()
                 return
             stats.candidate_pairs += len(batch)
             objs_a = [pair[0] for pair in batch]
             objs_b = [pair[1] for pair in batch]
             outcomes = batch_filter.classify(objs_a, objs_b, stats)
-            # Emit in candidate order so the result sequence is identical
-            # to the streaming engine's.
+            # Pushed in candidate order; the refinement pipeline emits
+            # in that same order, so the result sequence is identical to
+            # the streaming engine's for every exact_batch.
             for i, pair in enumerate(batch):
                 code = outcomes[i]
                 if code == FALSE_HIT:
                     continue
-                if code == HIT:
-                    yield pair
-                elif self.resolve_exact(pair[0], pair[1], stats):
-                    yield pair
+                yield from refine.push(pair, code == CANDIDATE)

@@ -23,13 +23,14 @@ class StreamingEngine(Engine):
     name = "streaming"
 
     def process(
-        self, candidates: Iterator[Pair], stats: MultiStepStats
+        self, candidates: Iterator[Pair], stats: MultiStepStats, refinement=None
     ) -> Iterator[Pair]:
         cfg = self.config
         within = cfg.predicate == "within"
         if within:
             from ..core.within import within_filter
 
+        refine = self.refinement_pipeline(stats, refinement)
         for obj_a, obj_b in candidates:
             stats.candidate_pairs += 1
             if within:
@@ -38,8 +39,7 @@ class StreamingEngine(Engine):
                 outcome = geometric_filter(obj_a, obj_b, cfg.filter, stats)
             if outcome is FilterOutcome.FALSE_HIT:
                 continue
-            if outcome is FilterOutcome.HIT:
-                yield (obj_a, obj_b)
-                continue
-            if self.resolve_exact(obj_a, obj_b, stats):
-                yield (obj_a, obj_b)
+            yield from refine.push(
+                (obj_a, obj_b), outcome is FilterOutcome.CANDIDATE
+            )
+        yield from refine.flush()

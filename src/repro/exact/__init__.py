@@ -1,4 +1,9 @@
-"""Exact geometry processors (paper §4): quadratic, plane sweep, TR*."""
+"""Exact geometry processors (paper §4): quadratic, plane sweep, TR*.
+
+The batched columnar refinement pipeline lives in
+:mod:`repro.exact.refine` (imported directly, not re-exported here: it
+builds on :mod:`repro.engine`, which imports this package).
+"""
 
 from .bruteforce import point_in_polygon_counted, polygons_intersect_quadratic
 from .costmodel import (

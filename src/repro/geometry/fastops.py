@@ -10,7 +10,7 @@ in this package (property-tested); only the evaluation strategy differs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -177,14 +177,35 @@ def edges_intersect_matrix_any(poly1: Polygon, poly2: Polygon) -> bool:
     """
     e1 = EdgeArrays(poly1)
     e2 = EdgeArrays(poly2)
-    p1x = e1.x1[:, None]
-    p1y = e1.y1[:, None]
-    p2x = e1.x2[:, None]
-    p2y = e1.y2[:, None]
-    q1x = e2.x1[None, :]
-    q1y = e2.y1[None, :]
-    q2x = e2.x2[None, :]
-    q2y = e2.y2[None, :]
+    return edge_matrix_intersect_any(
+        e1.x1, e1.y1, e1.x2, e1.y2, e2.x1, e2.y1, e2.x2, e2.y2
+    )
+
+
+def edge_matrix_intersect_any(
+    ax1: np.ndarray,
+    ay1: np.ndarray,
+    ax2: np.ndarray,
+    ay2: np.ndarray,
+    bx1: np.ndarray,
+    by1: np.ndarray,
+    bx2: np.ndarray,
+    by2: np.ndarray,
+) -> bool:
+    """``n1 x n2`` edge-pair test on raw coordinate arrays.
+
+    The arithmetic core of :func:`edges_intersect_matrix_any`, shared
+    with the batched refinement pipeline so pruned edge subsets are
+    decided by the exact same operations as the full matrix.
+    """
+    p1x = ax1[:, None]
+    p1y = ay1[:, None]
+    p2x = ax2[:, None]
+    p2y = ay2[:, None]
+    q1x = bx1[None, :]
+    q1y = by1[None, :]
+    q2x = bx2[None, :]
+    q2y = by2[None, :]
 
     eps = 1e-12
 
@@ -295,6 +316,176 @@ def circle_slack_bulk(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """
     dist = np.hypot(b[:, 0] - a[:, 0], b[:, 1] - a[:, 1])
     return (a[:, 2] + b[:, 2]) - dist
+
+
+def _orient_sign_bulk(
+    ax: np.ndarray,
+    ay: np.ndarray,
+    bx: np.ndarray,
+    by: np.ndarray,
+    cx: np.ndarray,
+    cy: np.ndarray,
+) -> np.ndarray:
+    """Bulk ``predicates.orientation``: per-element sign in {-1, 0, +1}.
+
+    Same formula and the same :data:`~repro.geometry.predicates.EPSILON`
+    thresholding as the scalar predicate, so decisions are identical.
+    """
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    return np.where(cross > EPSILON, 1, np.where(cross < -EPSILON, -1, 0))
+
+
+def _on_segment_bulk(
+    px: np.ndarray,
+    py: np.ndarray,
+    qx: np.ndarray,
+    qy: np.ndarray,
+    rx: np.ndarray,
+    ry: np.ndarray,
+) -> np.ndarray:
+    """Bulk ``predicates.on_segment``: ``q`` in the eps-closed box of ``p-r``."""
+    return (
+        (np.minimum(px, rx) - EPSILON <= qx)
+        & (qx <= np.maximum(px, rx) + EPSILON)
+        & (np.minimum(py, ry) - EPSILON <= qy)
+        & (qy <= np.maximum(py, ry) + EPSILON)
+    )
+
+
+def segments_intersect_bulk(
+    p1: np.ndarray, p2: np.ndarray, q1: np.ndarray, q2: np.ndarray
+) -> np.ndarray:
+    """Row-wise closed-segment intersection — bulk ``segments_intersect``.
+
+    Inputs are ``(n, 2)`` endpoint rows: row ``i`` tests segment
+    ``p1[i]-p2[i]`` against ``q1[i]-q2[i]``.  Replicates the scalar
+    predicate's orientation/``on_segment`` arithmetic operation for
+    operation (including the collinear-overlap and endpoint-touching
+    branches), so every row decides exactly as
+    :func:`repro.geometry.segment.segments_intersect`.
+    """
+    p1x, p1y = p1[:, 0], p1[:, 1]
+    p2x, p2y = p2[:, 0], p2[:, 1]
+    q1x, q1y = q1[:, 0], q1[:, 1]
+    q2x, q2y = q2[:, 0], q2[:, 1]
+    o1 = _orient_sign_bulk(p1x, p1y, p2x, p2y, q1x, q1y)
+    o2 = _orient_sign_bulk(p1x, p1y, p2x, p2y, q2x, q2y)
+    o3 = _orient_sign_bulk(q1x, q1y, q2x, q2y, p1x, p1y)
+    o4 = _orient_sign_bulk(q1x, q1y, q2x, q2y, p2x, p2y)
+    result = (o1 != o2) & (o3 != o4)
+    result |= (o1 == 0) & _on_segment_bulk(p1x, p1y, q1x, q1y, p2x, p2y)
+    result |= (o2 == 0) & _on_segment_bulk(p1x, p1y, q2x, q2y, p2x, p2y)
+    result |= (o3 == 0) & _on_segment_bulk(q1x, q1y, p1x, p1y, q2x, q2y)
+    result |= (o4 == 0) & _on_segment_bulk(q1x, q1y, p2x, p2y, q2x, q2y)
+    return result
+
+
+#: pair rows evaluated per chunk by :func:`ring_self_intersects_bulk`
+#: (bounds the temporary endpoint matrices to a few dozen MB).
+_SELF_INTERSECT_CHUNK = 262_144
+
+
+def ring_self_intersects_bulk(ring: Sequence[Coord]) -> bool:
+    """True if any two non-adjacent edges of the ring intersect.
+
+    The vectorised core of :meth:`Polygon.is_simple`: every non-adjacent
+    edge pair (``j >= i + 2``, minus the closing edge's wraparound
+    adjacency) runs through :func:`segments_intersect_bulk`, which
+    decides exactly like the scalar ``segments_intersect`` loop it
+    replaces.
+    """
+    n = len(ring)
+    if n < 4:
+        # A triangle has no non-adjacent edge pairs.
+        return False
+    pts = np.asarray(ring, dtype=float)
+    i_idx, j_idx = np.triu_indices(n, k=2)
+    keep = ~((i_idx == 0) & (j_idx == n - 1))
+    i_idx = i_idx[keep]
+    j_idx = j_idx[keep]
+    nxt = np.arange(1, n + 1) % n
+    for lo in range(0, len(i_idx), _SELF_INTERSECT_CHUNK):
+        i = i_idx[lo:lo + _SELF_INTERSECT_CHUNK]
+        j = j_idx[lo:lo + _SELF_INTERSECT_CHUNK]
+        hits = segments_intersect_bulk(
+            pts[i], pts[nxt[i]], pts[j], pts[nxt[j]]
+        )
+        if hits.any():
+            return True
+    return False
+
+
+def points_in_polygons_bulk(
+    px: np.ndarray,
+    py: np.ndarray,
+    qidx: np.ndarray,
+    ex1: np.ndarray,
+    ey1: np.ndarray,
+    ex2: np.ndarray,
+    ey2: np.ndarray,
+    mbrs: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Bulk ``Polygon.contains_point`` over many (point, polygon) queries.
+
+    ``px``/``py`` hold ``k`` query points; the flattened edge arrays hold
+    every queried polygon's edges as ``start -> end`` rows (all rings,
+    shell and holes), with ``qidx[e]`` naming the query edge ``e``
+    belongs to.  ``mbrs`` (``(k, 4)`` rows) adds the scalar method's MBR
+    pretest.  Per query: boundary points count as inside (the scalar
+    orientation/``on_segment`` boundary check, in bulk) and interior
+    containment is the even-odd crossing parity over all rings — the
+    same crossing condition and ``x_cross`` arithmetic as the scalar
+    loop, so decisions are identical.
+    """
+    k = len(px)
+    epx = px[qidx]
+    epy = py[qidx]
+    # Boundary: orientation(start, p, end) == 0 and on_segment(start, p, end).
+    o = _orient_sign_bulk(ex1, ey1, epx, epy, ex2, ey2)
+    boundary = (o == 0) & _on_segment_bulk(ex1, ey1, epx, epy, ex2, ey2)
+    # Even-odd ray crossings.  The scalar loop walks edges as
+    # (prev=start, cur=end): crossing iff (y_end > y) != (y_start > y),
+    # with x_cross = (x_start - x_end) * (y - y_end) / (y_start - y_end)
+    # + x_end; the divisor is nonzero wherever ``crosses`` holds.
+    crosses = (ey2 > epy) != (ey1 > epy)
+    dy = np.where(crosses, ey1 - ey2, 1.0)
+    x_cross = (ex1 - ex2) * (epy - ey2) / dy + ex2
+    toggles = crosses & (epx < x_cross)
+    inside = np.bincount(qidx[toggles], minlength=k) % 2 == 1
+    inside |= np.bincount(qidx[boundary], minlength=k) > 0
+    if mbrs is not None:
+        inside &= (
+            (mbrs[:, 0] <= px)
+            & (px <= mbrs[:, 2])
+            & (mbrs[:, 1] <= py)
+            & (py <= mbrs[:, 3])
+        )
+    return inside
+
+
+def edges_overlapping_rect_mask(
+    x1: np.ndarray,
+    y1: np.ndarray,
+    x2: np.ndarray,
+    y2: np.ndarray,
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+) -> np.ndarray:
+    """Edges whose bounding box meets the closed clip rectangle.
+
+    The pruning pretest of the batched refinement: an edge whose own
+    bounding box misses the (margin-inflated) MBR-intersection rectangle
+    of a candidate pair cannot take part in any edge-pair intersection,
+    so it is dropped before the ``n1 x n2`` matrix test.
+    """
+    return (
+        (np.minimum(x1, x2) <= xmax)
+        & (np.maximum(x1, x2) >= xmin)
+        & (np.minimum(y1, y2) <= ymax)
+        & (np.maximum(y1, y2) >= ymin)
+    )
 
 
 #: cap on the temporary projection-tensor size of the bulk SAT kernel.

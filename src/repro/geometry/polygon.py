@@ -25,7 +25,6 @@ from .predicates import (
     polygon_signed_area,
 )
 from .rectangle import Rect
-from .segment import segments_intersect
 
 Edge = Tuple[Coord, Coord]
 
@@ -279,18 +278,17 @@ class Polygon:
     def is_simple(self) -> bool:
         """True if no two non-adjacent edges of the same ring intersect.
 
-        O(n^2); intended for tests and data validation, not inner loops.
+        O(n^2) edge pairs, evaluated by the bulk segment-intersection
+        kernel (decision-identical to the scalar ``segments_intersect``
+        loop it replaces); intended for tests and data validation, not
+        inner loops.
         """
+        # Imported lazily: fastops imports this module.
+        from .fastops import ring_self_intersects_bulk
+
         for ring in self.rings():
-            n = len(ring)
-            for i in range(n):
-                a1, a2 = ring[i], ring[(i + 1) % n]
-                for j in range(i + 1, n):
-                    if j == i or (j + 1) % n == i or (i + 1) % n == j:
-                        continue
-                    b1, b2 = ring[j], ring[(j + 1) % n]
-                    if segments_intersect(a1, a2, b1, b2):
-                        return False
+            if ring_self_intersects_bulk(ring):
+                return False
         return True
 
     def validate(self) -> None:

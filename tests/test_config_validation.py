@@ -47,6 +47,44 @@ def test_invalid_batch_size_rejected(batch_size):
         JoinConfig(batch_size=batch_size)
 
 
+@pytest.mark.parametrize("exact_batch", (0, -1, -64))
+def test_exact_batch_below_one_rejected(exact_batch):
+    with pytest.raises(ValueError) as excinfo:
+        JoinConfig(exact_method="vectorized", exact_batch=exact_batch)
+    message = str(excinfo.value)
+    assert str(exact_batch) in message
+    # The message names the valid choices, like the workers validation.
+    assert "per-pair" in message and "batched" in message
+
+
+@pytest.mark.parametrize("exact_batch", (1.5, "64", None, True))
+def test_non_integer_exact_batch_rejected(exact_batch):
+    with pytest.raises(ValueError, match="exact_batch"):
+        JoinConfig(exact_method="vectorized", exact_batch=exact_batch)
+
+
+@pytest.mark.parametrize("exact_method", ("trstar", "planesweep", "quadratic"))
+def test_exact_batch_rejected_for_per_pair_methods(exact_method):
+    """Batched refinement implements only the vectorized semantics."""
+    # Per-pair capacity composes with every method...
+    JoinConfig(exact_method=exact_method, exact_batch=1)
+    # ...but batching requires the vectorized processor.
+    with pytest.raises(ValueError) as excinfo:
+        JoinConfig(exact_method=exact_method, exact_batch=64)
+    message = str(excinfo.value)
+    assert exact_method in message and "vectorized" in message
+    assert "exact_batch=64" in message
+
+
+def test_exact_batch_accepted_for_vectorized():
+    for exact_batch in (1, 2, 64, 4096):
+        config = JoinConfig(exact_method="vectorized", exact_batch=exact_batch)
+        assert config.exact_batch == exact_batch
+    # The default composes with every exact method (no batching).
+    for exact in EXACT_METHODS:
+        assert JoinConfig(exact_method=exact).exact_batch == 1
+
+
 @pytest.mark.parametrize("workers", (0, -1, -8))
 def test_workers_below_one_rejected(workers):
     with pytest.raises(ValueError) as excinfo:
