@@ -7,11 +7,12 @@
 #   make bench-parallel - measured vs LPT-modeled parallel speedup, quick scale
 #   make bench-columnar - columnar wire-format + repack benchmark, quick scale
 #   make bench-refine  - scalar vs batched exact-step benchmark, quick scale
+#   make bench-session - warm-session reuse + scheduler benchmark, quick scale
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: test test-fast test-parallel bench-engine bench-parallel \
-	bench-columnar bench-refine
+	bench-columnar bench-refine bench-session
 
 test:
 	$(PYTEST) -x -q
@@ -33,3 +34,6 @@ bench-columnar:
 
 bench-refine:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_refine.py
+
+bench-session:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_session.py

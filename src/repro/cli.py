@@ -6,6 +6,7 @@ Commands
 ``generate``  — write a synthetic cartographic relation as WKT
 ``info``      — statistics of a WKT relation (Figure 2 style)
 ``join``      — multi-step intersection/within join of two WKT relations
+``join-batch``— repeated joins through one persistent JoinSession
 ``query``     — multi-step window or point query over one WKT relation
 ``overlay``   — map-overlay (intersection layer) of two WKT relations
 ``distance``  — within-distance join of two WKT relations
@@ -19,6 +20,8 @@ Example session::
     python -m repro info europe.wkt
     python -m repro join europe.wkt b.wkt --conservative 5-C --progressive MER
     python -m repro join europe.wkt b.wkt --workers 4 --grid 4 4
+    python -m repro join europe.wkt b.wkt --workers 4 --scheduler stealing
+    python -m repro join-batch europe.wkt b.wkt --repeat 5 --workers 4
     python -m repro query europe.wkt --window 0.2 0.2 0.4 0.4
     python -m repro overlay europe.wkt b.wkt
     python -m repro distance europe.wkt b.wkt --epsilon 0.02
@@ -59,44 +62,20 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("relation", help="WKT file")
 
     join = sub.add_parser("join", help="multi-step spatial join")
-    join.add_argument("relation_a", help="WKT file (left relation)")
-    join.add_argument("relation_b", help="WKT file (right relation)")
-    join.add_argument("--predicate", choices=("intersects", "within"),
-                      default="intersects")
-    join.add_argument("--conservative", default="5-C",
-                      help="conservative approximation kind or 'none'")
-    join.add_argument("--progressive", default="MER",
-                      help="progressive approximation kind or 'none'")
-    join.add_argument("--exact", default="trstar",
-                      choices=("trstar", "planesweep", "quadratic", "vectorized"))
-    join.add_argument("--engine", default="streaming",
-                      choices=("streaming", "batched"),
-                      help="execution engine: per-pair streaming pipeline or "
-                           "vectorized batched filter (see repro.engine)")
-    join.add_argument("--batch-size", type=int, default=1024,
-                      help="candidate pairs per block for --engine batched")
-    join.add_argument("--exact-batch", type=int, default=1,
-                      help="remaining candidates per refinement batch; 1 "
-                           "(default) runs the scalar per-pair exact "
-                           "processor, N > 1 routes batches through the "
-                           "vectorized columnar refinement kernels "
-                           "(requires --exact vectorized)")
-    join.add_argument("--workers", type=int, default=1,
-                      help="worker processes for the partitioned tile "
-                           "executor; 1 (default) runs the ordinary serial "
-                           "join in-process")
-    join.add_argument("--grid", nargs=2, type=int, default=(4, 4),
-                      metavar=("NX", "NY"),
-                      help="tile grid for --workers > 1 (default 4 4)")
-    join.add_argument("--columnar", action=argparse.BooleanOptionalAction,
-                      default=True,
-                      help="use the relation-level columnar store: "
-                           "pre-packed filter columns for --engine batched "
-                           "and the shared-memory wire format for "
-                           "--workers > 1 (--no-columnar selects per-join "
-                           "packing and pickled tile slices)")
+    _add_join_options(join)
     join.add_argument("--pairs", action="store_true",
                       help="print every result pair")
+
+    batch = sub.add_parser(
+        "join-batch",
+        help="repeated joins through one persistent JoinSession "
+             "(reused worker pool + shared-segment cache)",
+    )
+    _add_join_options(batch)
+    batch.add_argument("--repeat", type=int, default=3,
+                       help="number of joins to run through the session "
+                            "(default 3); joins after the first reuse the "
+                            "pool and ship zero redundant bytes")
 
     query = sub.add_parser("query", help="window or point query")
     query.add_argument("relation", help="WKT file")
@@ -131,6 +110,79 @@ def _build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("relation_a", help="WKT file (left relation)")
     estimate.add_argument("relation_b", help="WKT file (right relation)")
     return parser
+
+
+def _add_join_options(parser: argparse.ArgumentParser) -> None:
+    """The options shared by ``join`` and ``join-batch``."""
+    parser.add_argument("relation_a", help="WKT file (left relation)")
+    parser.add_argument("relation_b", help="WKT file (right relation)")
+    parser.add_argument("--predicate", choices=("intersects", "within"),
+                        default="intersects")
+    parser.add_argument("--conservative", default="5-C",
+                        help="conservative approximation kind or 'none'")
+    parser.add_argument("--progressive", default="MER",
+                        help="progressive approximation kind or 'none'")
+    parser.add_argument("--exact", default="trstar",
+                        choices=("trstar", "planesweep", "quadratic",
+                                 "vectorized"))
+    parser.add_argument("--engine", default="streaming",
+                        choices=("streaming", "batched"),
+                        help="execution engine: per-pair streaming pipeline "
+                             "or vectorized batched filter (see repro.engine)")
+    parser.add_argument("--batch-size", type=int, default=1024,
+                        help="candidate pairs per block for --engine batched")
+    parser.add_argument("--exact-batch", type=int, default=1,
+                        help="remaining candidates per refinement batch; 1 "
+                             "(default) runs the scalar per-pair exact "
+                             "processor, N > 1 routes batches through the "
+                             "vectorized columnar refinement kernels "
+                             "(requires --exact vectorized)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the partitioned tile "
+                             "executor; 1 (default) runs the ordinary serial "
+                             "join in-process")
+    parser.add_argument("--grid", nargs=2, type=int, default=(4, 4),
+                        metavar=("NX", "NY"),
+                        help="tile grid for --workers > 1 (default 4 4)")
+    parser.add_argument("--scheduler", default="static",
+                        choices=("static", "stealing"),
+                        help="tile dispatch strategy for --workers > 1: "
+                             "'static' submits tiles in tile order (the "
+                             "deterministic baseline), 'stealing' "
+                             "dispatches size-ordered and lets idle workers "
+                             "pull the next pending tile (results are "
+                             "identical either way)")
+    parser.add_argument("--columnar", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="use the relation-level columnar store: "
+                             "pre-packed filter columns for --engine batched "
+                             "and the shared-memory wire format for "
+                             "--workers > 1 (--no-columnar selects per-join "
+                             "packing and pickled tile slices)")
+
+
+def _join_config(args: argparse.Namespace) -> JoinConfig:
+    """Build the validated JoinConfig for ``join``/``join-batch`` args.
+
+    Raises ``ValueError`` (caught by the commands) when any setting is
+    invalid — including the grid, which is validated here at the CLI
+    boundary instead of deep inside the tile planner.
+    """
+    return JoinConfig(
+        filter=FilterConfig(
+            conservative=_none_or(args.conservative),
+            progressive=_none_or(args.progressive),
+        ),
+        exact_method=args.exact,
+        predicate=args.predicate,
+        engine=args.engine,
+        batch_size=args.batch_size,
+        exact_batch=args.exact_batch,
+        workers=args.workers,
+        columnar=args.columnar,
+        scheduler=args.scheduler,
+        grid=tuple(args.grid),
+    )
 
 
 def _none_or(value: str) -> Optional[str]:
@@ -172,19 +224,7 @@ def cmd_join(args: argparse.Namespace) -> int:
     rel_a = load_relation(args.relation_a)
     rel_b = load_relation(args.relation_b)
     try:
-        config = JoinConfig(
-            filter=FilterConfig(
-                conservative=_none_or(args.conservative),
-                progressive=_none_or(args.progressive),
-            ),
-            exact_method=args.exact,
-            predicate=args.predicate,
-            engine=args.engine,
-            batch_size=args.batch_size,
-            exact_batch=args.exact_batch,
-            workers=args.workers,
-            columnar=args.columnar,
-        )
+        config = _join_config(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -192,16 +232,15 @@ def cmd_join(args: argparse.Namespace) -> int:
         from .core.parallel_exec import parallel_partitioned_join
 
         try:
-            result = parallel_partitioned_join(
-                rel_a, rel_b, grid=tuple(args.grid), config=config
-            )
+            result = parallel_partitioned_join(rel_a, rel_b, config=config)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(
             f"parallel executor: {config.workers} workers, "
             f"{result.tile_tasks} tile tasks on a "
-            f"{args.grid[0]}x{args.grid[1]} grid, "
+            f"{config.grid[0]}x{config.grid[1]} grid, "
+            f"scheduler {result.scheduler} ({result.steal_count} steals), "
             f"wire format {result.wire_format}, "
             f"{result.elapsed_seconds * 1e3:.0f} ms"
         )
@@ -222,6 +261,61 @@ def cmd_join(args: argparse.Namespace) -> int:
     if args.pairs:
         for a, b in result.id_pairs():
             print(f"{a}\t{b}")
+    return 0
+
+
+def cmd_join_batch(args: argparse.Namespace) -> int:
+    from .core.session import JoinSession
+
+    rel_a = load_relation(args.relation_a)
+    rel_b = load_relation(args.relation_b)
+    try:
+        config = _join_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}",
+              file=sys.stderr)
+        return 2
+    print(
+        f"join-batch: {args.repeat} joins through one session "
+        f"({config.workers} workers, {config.grid[0]}x{config.grid[1]} grid, "
+        f"scheduler {config.scheduler})"
+    )
+    latencies = []
+    baseline = None
+    with JoinSession(config=config) as session:
+        for i in range(args.repeat):
+            result = session.join(rel_a, rel_b)
+            latencies.append(result.elapsed_seconds)
+            print(
+                f"  join {i + 1}/{args.repeat}: {len(result)} pairs, "
+                f"{result.elapsed_seconds * 1e3:.0f} ms, "
+                f"{result.shared_payload_bytes} new shared bytes, "
+                f"{result.segment_cache_hits} cached segments reused, "
+                f"{result.steal_count} steals"
+            )
+            pairs = sorted(result.id_pairs())
+            if baseline is None:
+                baseline = pairs
+            elif pairs != baseline:
+                print("error: a warm join diverged from the first join",
+                      file=sys.stderr)
+                return 3
+        print(
+            f"session: {session.joins_run} joins, "
+            f"{session.pools_created} pools forked, "
+            f"{session.segment_cache_hits} segment cache hits, "
+            f"{session.cached_segment_bytes} shared bytes cached"
+        )
+    if len(latencies) > 1:
+        warm = min(latencies[1:])
+        ratio = latencies[0] / warm if warm > 0 else 1.0
+        print(
+            f"first join {latencies[0] * 1e3:.0f} ms, best warm join "
+            f"{warm * 1e3:.0f} ms ({ratio:.1f}x)"
+        )
     return 0
 
 
@@ -314,6 +408,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "info": cmd_info,
     "join": cmd_join,
+    "join-batch": cmd_join_batch,
     "query": cmd_query,
     "overlay": cmd_overlay,
     "distance": cmd_distance,

@@ -17,7 +17,7 @@ results and statistics; :class:`JoinConfig.engine` selects one.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, List, Optional, Tuple
 
 from ..datasets.relations import SpatialObject, SpatialRelation
@@ -31,6 +31,36 @@ EXACT_METHODS = ("trstar", "planesweep", "quadratic", "vectorized")
 #: execution engine names accepted by :class:`JoinConfig` (see
 #: :mod:`repro.engine` for the execution models).
 ENGINES = ("streaming", "batched")
+
+#: tile scheduler names accepted by :class:`JoinConfig` (see
+#: :mod:`repro.core.parallel_exec` for the dispatch strategies).
+SCHEDULERS = ("static", "stealing")
+
+
+def validate_grid(grid) -> Tuple[int, int]:
+    """Validate a partition grid at the config/CLI boundary.
+
+    Returns the grid as a plain ``(nx, ny)`` tuple of ints; raises
+    ``ValueError`` (never a deep ``plan_tile_indices`` traceback) when
+    the shape or the dimensions are wrong.  Every message names the
+    minimum — a 1x1 grid — so the fix is obvious.
+    """
+    try:
+        nx, ny = grid
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"grid must be two integer dimensions (nx, ny), at least "
+            f"1x1, got {grid!r}"
+        ) from None
+    for dim in (nx, ny):
+        if not isinstance(dim, int) or isinstance(dim, bool):
+            raise ValueError(
+                f"grid dimensions must be integers (at least a 1x1 "
+                f"grid), got {grid!r}"
+            )
+    if nx < 1 or ny < 1:
+        raise ValueError(f"grid must be at least 1x1, got {nx}x{ny}")
+    return (int(nx), int(ny))
 
 
 @dataclass(frozen=True)
@@ -69,6 +99,21 @@ class JoinConfig:
     #: (:mod:`repro.core.parallel_exec`): 1 = serial in-process
     #: execution, N > 1 = tiles run on a process pool.
     workers: int = 1
+    #: tile dispatch strategy for the partitioned executor: 'static'
+    #: submits tiles in tile-key order (the deterministic baseline),
+    #: 'stealing' dispatches size-ordered and lets idle workers pull
+    #: the next pending tile.  Results, order, and statistics are
+    #: identical either way (the merge is tile-sorted).
+    scheduler: str = "static"
+    #: partition grid ``(nx, ny)`` for the tile executor; validated
+    #: here (integers, both >= 1) instead of deep inside
+    #: ``plan_tile_indices``.
+    grid: Tuple[int, int] = (4, 4)
+    #: optional :class:`repro.core.session.JoinSession` that the
+    #: partitioned executor should run inside (persistent worker pool +
+    #: shared-segment cache).  Never shipped to workers — tasks carry a
+    #: copy of the config with the session stripped.
+    session: Optional[object] = None
     #: use the relation-level columnar store
     #: (:class:`repro.datasets.columnar.ColumnarRelation`): the batched
     #: engine reads pre-packed approximation columns instead of packing
@@ -94,6 +139,22 @@ class JoinConfig:
                 f"unknown engine {self.engine!r}; "
                 f"expected one of {ENGINES}"
             )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"expected one of {SCHEDULERS}"
+            )
+        # Coerce list/sequence grids (e.g. from the CLI) to a tuple so
+        # the config stays hashable and comparable.
+        object.__setattr__(self, "grid", validate_grid(self.grid))
+        if self.session is not None:
+            from .session import JoinSession  # lazy: session imports us
+
+            if not isinstance(self.session, JoinSession):
+                raise ValueError(
+                    f"session must be a JoinSession or None, "
+                    f"got {self.session!r}"
+                )
         if self.batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {self.batch_size}"
@@ -141,9 +202,16 @@ class JoinConfig:
             # Tile tasks ship the whole config to worker processes, so a
             # parallel config must pickle.  Failing here gives a clear
             # one-frame error instead of a mid-join traceback from
-            # inside the process pool.
+            # inside the process pool.  The session stays behind in the
+            # parent (the executor strips it before building tasks), so
+            # it is stripped from the probe too.
             try:
-                pickle.dumps(self)
+                probe = (
+                    self
+                    if self.session is None
+                    else replace(self, session=None)
+                )
+                pickle.dumps(probe)
             except Exception as exc:
                 raise ValueError(
                     f"JoinConfig with workers={self.workers} must be "

@@ -24,12 +24,38 @@ Two wire formats carry a tile to its worker:
   :class:`TileTask` carries its relation slices as ``(oid, polygon)``
   pairs; replicated objects are pickled once per tile they touch.
 
+How tiles reach the workers is a pluggable **scheduler** strategy
+(``JoinConfig(scheduler=...)``, CLI ``join --scheduler``):
+
+* ``static`` (default) — tiles are submitted and collected in tile-key
+  order, exactly the historical ``pool.map`` behaviour; the
+  differential baseline.
+* ``stealing`` — tiles are dispatched largest-first (candidate-volume
+  order) and idle workers pull the next pending tile as they finish
+  (``submit``/``as_completed``), so one straggling hot tile no longer
+  serialises the tail of the join.  Completion order is observable in
+  :class:`DispatchReport` (``steal_count`` on the result counts
+  completions that overtook an earlier-dispatched tile).
+
+Either way a worker exception is re-raised in the parent as
+:class:`TileExecutionError` carrying the failing tile's index, and the
+shared segments are still unlinked.
+
+Setup costs can be amortised across joins with a
+:class:`repro.core.session.JoinSession`: the session owns a long-lived
+worker pool and a cache of shared-memory segments keyed by relation
+fingerprint, so repeated joins of the same relations fork no new
+workers and ship zero redundant bytes.  Sessionless calls keep the
+one-shot lifecycle (segments created before dispatch, unlinked in
+``finally``).
+
 Either way the guarantees are the same:
 
 * **Result transparency** — the merged pair list equals the serial
   partitioned join's (and therefore the plain multi-step join's up to
-  order); tiles are merged in tile-key order, so the output order is
-  byte-identical to :func:`repro.core.partition.partitioned_join`.
+  order); outcomes are folded in tile-key order regardless of which
+  worker finished first, so the output order is byte-identical to
+  :func:`repro.core.partition.partitioned_join` under every scheduler.
 * **Stats transparency** — every worker returns its tile's full
   :class:`~repro.core.stats.MultiStepStats`; the parent folds them with
   the associative :meth:`MultiStepStats.merge`, so the merged counters
@@ -55,17 +81,18 @@ import multiprocessing
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from abc import ABC, abstractmethod
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from multiprocessing import shared_memory
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, ClassVar, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..datasets.columnar import RingColumns, unpack_polygon
 from ..datasets.relations import SpatialObject, SpatialRelation
 from ..geometry import Polygon, Rect
-from .join import JoinConfig, SpatialJoinProcessor
+from .join import SCHEDULERS, JoinConfig, SpatialJoinProcessor, validate_grid
 from .partition import (
     PartitionedJoinResult,
     PartitionStats,
@@ -160,8 +187,26 @@ class ParallelPartitionedJoinResult(PartitionedJoinResult):
     tile_seconds: Dict[Tuple[int, int], float] = field(default_factory=dict)
     #: wire format used: "columnar-shm" or "pickled-slices".
     wire_format: str = "pickled-slices"
-    #: bytes placed in shared memory (columnar wire format only).
+    #: bytes newly placed in shared memory by this join (columnar wire
+    #: format only; 0 when a warm session reused every segment).
     shared_payload_bytes: int = 0
+    #: scheduler that dispatched the tiles: "static" or "stealing".
+    scheduler: str = "static"
+    #: completions that overtook an earlier-dispatched, still-pending
+    #: tile — dynamic balancing in action (0 under "static").
+    steal_count: int = 0
+    #: tile keys in the order their outcomes arrived.
+    completion_order: List[Tuple[int, int]] = field(default_factory=list)
+    #: shared segments served from / added to the segment cache by this
+    #: join: a warm session join reports ``hits=2, misses=0``; a
+    #: sessionless columnar join always creates both segments fresh
+    #: (``hits=0, misses=2``); the pickled-slice wire format ships no
+    #: segments at all (``0``/``0``).
+    segment_cache_hits: int = 0
+    segment_cache_misses: int = 0
+    #: bytes served from the session's segment cache instead of being
+    #: re-shipped (columnar wire format inside a warm session).
+    reused_payload_bytes: int = 0
 
     @property
     def busy_seconds(self) -> float:
@@ -210,71 +255,108 @@ def _segment_size(n_objects: int, n_rings: int, n_points: int) -> int:
     return 8 * ((n_objects) + (n_objects + 1) + (n_rings + 1) + 2 * n_points)
 
 
-class ColumnarShipment:
-    """Parent-side owner of the per-relation shared-memory segments.
+class SharedRelationSegment:
+    """One relation's packed ring columns in one shared-memory segment.
 
-    Creating the shipment copies each relation's packed ring columns
-    into one segment; :meth:`close` unlinks them all.  Callers must
-    close in a ``finally`` block — the lifecycle tests assert that no
-    ``/dev/shm`` entry survives success, worker failure, or interrupt.
+    The unit of segment ownership: created once per relation content,
+    attached (read-only) by any number of tile tasks, and unlinked
+    exactly once by whoever owns it — a per-join
+    :class:`ColumnarShipment` or a cross-join
+    :class:`repro.core.session.JoinSession` segment cache, which keys
+    reuse on :attr:`fingerprint`.
     """
 
-    def __init__(self, relations: Sequence[SpatialRelation]):
-        self.specs: List[SharedRelationSpec] = []
-        self._segments: List[shared_memory.SharedMemory] = []
+    def __init__(self, relation: SpatialRelation):
+        store = relation.columnar()
+        columns = store.rings
+        self.fingerprint = store.fingerprint
+        n = len(columns.oids)
+        n_rings = len(columns.ring_offsets) - 1
+        n_points = len(columns.ring_xy)
+        self._shm: Optional[shared_memory.SharedMemory] = (
+            shared_memory.SharedMemory(
+                create=True,
+                size=max(8, _segment_size(n, n_rings, n_points)),
+            )
+        )
+        _LIVE_SEGMENTS.add(self._shm.name)
         try:
-            for relation in relations:
-                columns = relation.columnar().rings
-                n = len(columns.oids)
-                n_rings = len(columns.ring_offsets) - 1
-                n_points = len(columns.ring_xy)
-                shm = shared_memory.SharedMemory(
-                    create=True,
-                    size=max(8, _segment_size(n, n_rings, n_points)),
-                )
-                _LIVE_SEGMENTS.add(shm.name)
-                self._segments.append(shm)
-                views = _column_views(shm.buf, n, n_rings, n_points)
-                views.oids[:] = columns.oids
-                views.object_rings[:] = columns.object_rings
-                views.ring_offsets[:] = columns.ring_offsets
-                views.ring_xy[:] = columns.ring_xy
-                del views
-                self.specs.append(
-                    SharedRelationSpec(
-                        shm_name=shm.name,
-                        relation_name=relation.name,
-                        n_objects=n,
-                        n_rings=n_rings,
-                        n_points=n_points,
-                        origin_pid=os.getpid(),
-                    )
-                )
+            self.nbytes = self._shm.size
+            views = _column_views(self._shm.buf, n, n_rings, n_points)
+            views.oids[:] = columns.oids
+            views.object_rings[:] = columns.object_rings
+            views.ring_offsets[:] = columns.ring_offsets
+            views.ring_xy[:] = columns.ring_xy
+            del views
+            self.spec = SharedRelationSpec(
+                shm_name=self._shm.name,
+                relation_name=relation.name,
+                n_objects=n,
+                n_rings=n_rings,
+                n_points=n_points,
+                origin_pid=os.getpid(),
+            )
         except BaseException:
             self.close()
             raise
 
     @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def close(self) -> None:
+        """Unlink the segment (idempotent)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            _LIVE_SEGMENTS.discard(shm.name)
+
+
+class ColumnarShipment:
+    """Parent-side owner of one join's per-relation shared segments.
+
+    Creating the shipment copies each relation's packed ring columns
+    into one :class:`SharedRelationSegment`; :meth:`close` unlinks them
+    all.  Callers must close in a ``finally`` block — the lifecycle
+    tests assert that no ``/dev/shm`` entry survives success, worker
+    failure, or interrupt.  (Session-cached segments are not wrapped in
+    a shipment: their lifecycle belongs to the session.)
+    """
+
+    def __init__(self, relations: Sequence[SpatialRelation]):
+        self._segments: List[SharedRelationSegment] = []
+        try:
+            for relation in relations:
+                self._segments.append(SharedRelationSegment(relation))
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def specs(self) -> List[SharedRelationSpec]:
+        return [segment.spec for segment in self._segments]
+
+    @property
     def segment_names(self) -> Tuple[str, ...]:
-        return tuple(spec.shm_name for spec in self.specs)
+        return tuple(segment.spec.shm_name for segment in self._segments)
 
     @property
     def total_bytes(self) -> int:
         """Payload bytes shipped through shared memory."""
-        return sum(shm.size for shm in self._segments)
+        return sum(segment.nbytes for segment in self._segments)
 
     def close(self) -> None:
         """Unlink every segment (idempotent)."""
         segments, self._segments = self._segments, []
-        for shm in segments:
-            try:
-                shm.close()
-            finally:
-                try:
-                    shm.unlink()
-                except FileNotFoundError:
-                    pass
-                _LIVE_SEGMENTS.discard(shm.name)
+        for segment in segments:
+            segment.close()
 
 
 def _attach_segment(spec: SharedRelationSpec) -> shared_memory.SharedMemory:
@@ -350,6 +432,46 @@ def plan_tile_tasks(
     return tasks, partitions
 
 
+def _columnar_tasks_for_specs(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    grid: Tuple[int, int],
+    config: JoinConfig,
+    spec_a: SharedRelationSpec,
+    spec_b: SharedRelationSpec,
+) -> Tuple[List[ColumnarTileTask], List[PartitionStats]]:
+    """Build the columnar tile tasks against already-shipped segments.
+
+    Shared by the one-shot path (segments in a fresh
+    :class:`ColumnarShipment`) and the session path (segments served
+    from the :class:`~repro.core.session.JoinSession` cache) — one task
+    format either way.
+    """
+    space, plan = plan_tile_indices(relation_a, relation_b, grid)
+    tasks: List[ColumnarTileTask] = []
+    partitions: List[PartitionStats] = []
+    for key, idx_a, idx_b in plan:
+        partitions.append(
+            PartitionStats(tile=key, objects_a=len(idx_a),
+                           objects_b=len(idx_b))
+        )
+        if idx_a.size == 0 or idx_b.size == 0:
+            continue
+        tasks.append(
+            ColumnarTileTask(
+                tile=key,
+                spec_a=spec_a,
+                spec_b=spec_b,
+                idx_a=idx_a,
+                idx_b=idx_b,
+                space=(space.xmin, space.ymin, space.xmax, space.ymax),
+                grid=grid,
+                config=config,
+            )
+        )
+    return tasks, partitions
+
+
 def plan_columnar_tile_tasks(
     relation_a: SpatialRelation,
     relation_b: SpatialRelation,
@@ -365,31 +487,12 @@ def plan_columnar_tile_tasks(
     :class:`ColumnarShipment` and must :meth:`~ColumnarShipment.close`
     it once the outcomes are in — in a ``finally`` block.
     """
-    space, plan = plan_tile_indices(relation_a, relation_b, grid)
     shipment = ColumnarShipment((relation_a, relation_b))
     try:
         spec_a, spec_b = shipment.specs
-        tasks: List[ColumnarTileTask] = []
-        partitions: List[PartitionStats] = []
-        for key, idx_a, idx_b in plan:
-            partitions.append(
-                PartitionStats(tile=key, objects_a=len(idx_a),
-                               objects_b=len(idx_b))
-            )
-            if idx_a.size == 0 or idx_b.size == 0:
-                continue
-            tasks.append(
-                ColumnarTileTask(
-                    tile=key,
-                    spec_a=spec_a,
-                    spec_b=spec_b,
-                    idx_a=idx_a,
-                    idx_b=idx_b,
-                    space=(space.xmin, space.ymin, space.xmax, space.ymax),
-                    grid=grid,
-                    config=config,
-                )
-            )
+        tasks, partitions = _columnar_tasks_for_specs(
+            relation_a, relation_b, grid, config, spec_a, spec_b
+        )
         return tasks, partitions, shipment
     except BaseException:
         shipment.close()
@@ -559,15 +662,6 @@ def _run_columnar_tile_refined(task: ColumnarTileTask, start: float) -> TileOutc
             shm.close()
 
 
-def _run_serial(tasks: Sequence[object], runner: Callable) -> List[TileOutcome]:
-    """workers=1: same tasks, in-process, still through the wire format."""
-    outcomes = []
-    for task in tasks:
-        shipped = pickle.loads(pickle.dumps(task))
-        outcomes.append(pickle.loads(pickle.dumps(runner(shipped))))
-    return outcomes
-
-
 def _pool_context():
     """Prefer fork (cheap, Linux default); fall back to the platform default."""
     if "fork" in multiprocessing.get_all_start_methods():
@@ -575,63 +669,312 @@ def _pool_context():
     return None
 
 
-def _dispatch(
-    tasks: Sequence[object], runner: Callable, n_workers: int
+# ---------------------------------------------------------------------------
+# Scheduling: how tile tasks reach the workers.
+# ---------------------------------------------------------------------------
+
+
+class TileExecutionError(RuntimeError):
+    """A tile's worker raised; carries the tile index for attribution.
+
+    ``pool.map`` used to lose which tile died — both schedulers now map
+    every future back to its tile, so a crashing worker surfaces as
+    ``TileExecutionError(tile=(i, j))`` with the original exception as
+    ``cause`` (and ``__cause__``), while the shared segments are still
+    unlinked by the caller's ``finally``.
+    """
+
+    def __init__(self, tile: Tuple[int, int], cause: BaseException):
+        super().__init__(f"tile {tile} failed in worker: {cause!r}")
+        self.tile = tile
+        self.cause = cause
+
+
+@dataclass
+class DispatchReport:
+    """How a scheduler actually ran one join's tile tasks."""
+
+    scheduler: str
+    dispatched: int = 0
+    #: completions that overtook an earlier-dispatched, still-pending
+    #: tile (structurally 0 under the static scheduler, which collects
+    #: in dispatch order).
+    steals: int = 0
+    #: tile keys in outcome-arrival order.
+    completion_order: List[Tuple[int, int]] = field(default_factory=list)
+
+
+def _task_cost(task) -> int:
+    """Candidate-volume proxy used for size-ordered dispatch."""
+    if isinstance(task, ColumnarTileTask):
+        return int(task.idx_a.size) * int(task.idx_b.size)
+    return len(task.objects_a) * len(task.objects_b)
+
+
+def _run_in_process(
+    ordered: Sequence[object], runner: Callable, report: DispatchReport
 ) -> List[TileOutcome]:
-    """Run the tasks on a pool (or in-process for the degenerate case)."""
+    """workers=1: same tasks, in dispatch order, still through pickle.
+
+    The single-worker path proves the IPC format without paying for a
+    pool: each task and outcome round-trips through :mod:`pickle`.
+    """
+    outcomes = []
+    for task in ordered:
+        shipped = pickle.loads(pickle.dumps(task))
+        try:
+            outcome = runner(shipped)
+        except Exception as exc:
+            raise TileExecutionError(task.tile, exc) from exc
+        outcomes.append(pickle.loads(pickle.dumps(outcome)))
+        report.completion_order.append(task.tile)
+    return outcomes
+
+
+class Scheduler(ABC):
+    """Dispatch strategy for tile tasks (see module docstring).
+
+    A scheduler decides dispatch order and how outcomes are collected;
+    it never affects results — the parent folds outcomes in tile-key
+    order whatever arrives first.
+    """
+
+    #: scheduler name as used by ``JoinConfig.scheduler`` and the CLI.
+    name: ClassVar[str] = "?"
+
+    @abstractmethod
+    def dispatch_order(self, tasks: Sequence[object]) -> List[object]:
+        """The order in which tasks are handed to the pool."""
+
+    @abstractmethod
+    def collect(
+        self,
+        ordered: Sequence[object],
+        runner: Callable,
+        pool: ProcessPoolExecutor,
+        report: DispatchReport,
+    ) -> List[TileOutcome]:
+        """Submit the ordered tasks and gather their outcomes."""
+
+    def execute(
+        self,
+        tasks: Sequence[object],
+        runner: Callable,
+        pool: Optional[ProcessPoolExecutor],
+    ) -> Tuple[List[TileOutcome], DispatchReport]:
+        """Run the tasks on ``pool`` (or in-process when ``pool`` is None)."""
+        ordered = self.dispatch_order(list(tasks))
+        report = DispatchReport(scheduler=self.name, dispatched=len(ordered))
+        if pool is None:
+            return _run_in_process(ordered, runner, report), report
+        return self.collect(ordered, runner, pool, report), report
+
+
+class StaticScheduler(Scheduler):
+    """Tile-key dispatch order, collected in dispatch order.
+
+    The historical ``pool.map`` behaviour, kept as the differential
+    baseline: deterministic dispatch, no dynamic balancing, zero steals
+    by construction.
+    """
+
+    name = "static"
+
+    def dispatch_order(self, tasks: Sequence[object]) -> List[object]:
+        return list(tasks)
+
+    def collect(self, ordered, runner, pool, report) -> List[TileOutcome]:
+        futures = [(task.tile, pool.submit(runner, task)) for task in ordered]
+        outcomes: List[TileOutcome] = []
+        try:
+            for tile, future in futures:
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:
+                    raise TileExecutionError(tile, exc) from exc
+                report.completion_order.append(tile)
+        finally:
+            for _, future in futures:
+                future.cancel()
+        return outcomes
+
+
+class StealingScheduler(Scheduler):
+    """Largest-first dispatch, outcomes gathered as they complete.
+
+    Tiles are submitted in descending candidate-volume order (an LPT
+    heuristic: start the probable stragglers first) and idle workers
+    pull the next pending tile from the pool's queue the moment they
+    finish — work stealing at tile granularity.  On skewed grids this
+    stops one hot tile from serialising the join's tail; on balanced
+    grids it degenerates gracefully to the static behaviour.
+    """
+
+    name = "stealing"
+
+    def dispatch_order(self, tasks: Sequence[object]) -> List[object]:
+        # Stable sort: equal-cost tiles keep their tile-key order.
+        return sorted(tasks, key=_task_cost, reverse=True)
+
+    def collect(self, ordered, runner, pool, report) -> List[TileOutcome]:
+        futures = {
+            pool.submit(runner, task): (position, task.tile)
+            for position, task in enumerate(ordered)
+        }
+        outcomes: List[TileOutcome] = []
+        pending = set(range(len(ordered)))
+        try:
+            for future in as_completed(futures):
+                position, tile = futures[future]
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:
+                    raise TileExecutionError(tile, exc) from exc
+                if pending and min(pending) < position:
+                    report.steals += 1
+                pending.discard(position)
+                report.completion_order.append(tile)
+        finally:
+            for future in futures:
+                future.cancel()
+        return outcomes
+
+
+def create_scheduler(name: str) -> Scheduler:
+    """Instantiate the scheduler selected by ``JoinConfig.scheduler``."""
+    for cls in (StaticScheduler, StealingScheduler):
+        if name == cls.name:
+            return cls()
+    raise ValueError(
+        f"unknown scheduler {name!r}; expected one of {SCHEDULERS}"
+    )
+
+
+def _dispatch(
+    tasks: Sequence[object],
+    runner: Callable,
+    n_workers: int,
+    scheduler: Optional[Scheduler] = None,
+    session=None,
+) -> Tuple[List[TileOutcome], DispatchReport]:
+    """Run the tasks under the scheduler on a pool (or in-process).
+
+    ``session`` supplies a persistent pool when given; otherwise a
+    one-shot pool is created and torn down around the join.
+    """
+    scheduler = scheduler or StaticScheduler()
     if n_workers == 1 or not tasks:
-        return _run_serial(tasks, runner)
+        return scheduler.execute(tasks, runner, None)
+    if session is not None:
+        try:
+            return scheduler.execute(tasks, runner, session.pool(n_workers))
+        except BaseException as exc:
+            # A pool whose worker process died is unusable for every
+            # later join; discard it so the session's next join forks a
+            # fresh one (public-API detection — no reliance on the
+            # executor's private broken flag).
+            cause = getattr(exc, "cause", None)
+            if isinstance(exc, BrokenExecutor) or isinstance(
+                cause, BrokenExecutor
+            ):
+                session._discard_pool()
+            raise
     with ProcessPoolExecutor(
         max_workers=min(n_workers, len(tasks)),
         mp_context=_pool_context(),
     ) as pool:
-        return list(pool.map(runner, tasks))
+        return scheduler.execute(tasks, runner, pool)
 
 
 def parallel_partitioned_join(
     relation_a: SpatialRelation,
     relation_b: SpatialRelation,
-    grid: Tuple[int, int] = (4, 4),
+    grid: Optional[Tuple[int, int]] = None,
     config: Optional[JoinConfig] = None,
     workers: Optional[int] = None,
+    session=None,
 ) -> ParallelPartitionedJoinResult:
     """Grid-partitioned multi-step join on a real process pool.
 
-    ``workers`` overrides ``config.workers`` when given.  Tiles are
-    dispatched with :meth:`ProcessPoolExecutor.map`, which preserves
-    task order, so the merged output is deterministic regardless of
-    which worker finishes first — identical pairs, order, and merged
-    statistics as the serial :func:`partitioned_join` on the same grid.
-    ``config.columnar`` selects the wire format (see module docstring);
-    either format produces the same outcomes.
+    ``workers`` overrides ``config.workers`` and ``grid`` overrides
+    ``config.grid`` when given.  ``config.scheduler`` selects how tiles
+    reach the workers (static tile order or size-ordered work stealing,
+    see module docstring); outcomes are folded in tile-key order, so
+    the merged output is deterministic regardless of which worker
+    finishes first — identical pairs, order, and merged statistics as
+    the serial :func:`partitioned_join` on the same grid under every
+    scheduler.  ``config.columnar`` selects the wire format; either
+    format produces the same outcomes.
+
+    ``session`` (or ``config.session``) runs the join inside a
+    :class:`repro.core.session.JoinSession`: the worker pool persists
+    across joins and shared segments are served from the session's
+    fingerprint-keyed cache, so repeated joins of the same relations
+    ship zero redundant bytes.  Without a session every resource is
+    created and torn down around this one call.
     """
     config = config or JoinConfig()
     if workers is not None:
         config = replace(config, workers=workers)
+    if session is None:
+        session = config.session
+    if session is not None:
+        session._ensure_open()
+    grid = config.grid if grid is None else validate_grid(grid)
     n_workers = config.workers
+    scheduler = create_scheduler(config.scheduler)
+    # Tasks ship the config to worker processes; a live session must
+    # stay behind in the parent.
+    wire_config = (
+        config if config.session is None else replace(config, session=None)
+    )
 
     start = time.perf_counter()
     shipment: Optional[ColumnarShipment] = None
-    shared_bytes = 0
+    shipped_bytes = reused_bytes = 0
+    cache_hits = cache_misses = 0
     try:
         if config.columnar:
-            tasks, partitions, shipment = plan_columnar_tile_tasks(
-                relation_a, relation_b, grid, config
-            )
             runner: Callable = run_columnar_tile_task
             wire_format = "columnar-shm"
-            shared_bytes = shipment.total_bytes
+            if session is not None:
+                segments = []
+                for relation in (relation_a, relation_b):
+                    segment, reused = session.segment_for(relation)
+                    segments.append(segment)
+                    if reused:
+                        cache_hits += 1
+                        reused_bytes += segment.nbytes
+                    else:
+                        cache_misses += 1
+                        shipped_bytes += segment.nbytes
+                tasks, partitions = _columnar_tasks_for_specs(
+                    relation_a, relation_b, grid, wire_config,
+                    segments[0].spec, segments[1].spec,
+                )
+            else:
+                tasks, partitions, shipment = plan_columnar_tile_tasks(
+                    relation_a, relation_b, grid, wire_config
+                )
+                shipped_bytes = shipment.total_bytes
+                cache_misses = 2
         else:
             tasks, partitions = plan_tile_tasks(
-                relation_a, relation_b, grid, config
+                relation_a, relation_b, grid, wire_config
             )
             runner = run_tile_task
             wire_format = "pickled-slices"
-        outcomes = _dispatch(tasks, runner, n_workers)
+        outcomes, report = _dispatch(
+            tasks, runner, n_workers, scheduler=scheduler, session=session
+        )
     finally:
         if shipment is not None:
             shipment.close()
 
+    # Deterministic merge: fold outcomes in tile-key order no matter
+    # which worker finished first (the stealing scheduler completes out
+    # of order by design).
+    outcomes.sort(key=lambda outcome: outcome.tile)
     by_id_a = {obj.oid: obj for obj in relation_a}
     by_id_b = {obj.oid: obj for obj in relation_b}
     by_tile = {p.tile: p for p in partitions}
@@ -648,6 +991,8 @@ def parallel_partitioned_join(
             (by_id_a[oid_a], by_id_b[oid_b])
             for oid_a, oid_b in outcome.id_pairs
         )
+    if session is not None:
+        session._note_join()
     return ParallelPartitionedJoinResult(
         pairs=pairs,
         partitions=partitions,
@@ -657,5 +1002,11 @@ def parallel_partitioned_join(
         elapsed_seconds=time.perf_counter() - start,
         tile_seconds=tile_seconds,
         wire_format=wire_format,
-        shared_payload_bytes=shared_bytes,
+        shared_payload_bytes=shipped_bytes,
+        scheduler=scheduler.name,
+        steal_count=report.steals,
+        completion_order=list(report.completion_order),
+        segment_cache_hits=cache_hits,
+        segment_cache_misses=cache_misses,
+        reused_payload_bytes=reused_bytes,
     )

@@ -1,0 +1,253 @@
+"""Join sessions: a serving-oriented runtime for repeated parallel joins.
+
+The paper's §6 outlook motivates parallel multi-step joins; the
+one-shot executor in :mod:`repro.core.parallel_exec` realises it, but
+pays the full setup on every call — a fresh
+:class:`~concurrent.futures.ProcessPoolExecutor` is forked, each
+relation's ring columns are copied into fresh shared-memory segments,
+and everything is torn down again when the join returns.  Serving
+workloads (many joins against a slowly-changing set of relations) are
+session-oriented: the setup should be paid once and amortised.
+
+:class:`JoinSession` is that context.  It owns
+
+* a **persistent worker pool**, created lazily on the first join that
+  needs one and reused by every following join at the same worker
+  count (a join with a different count transparently rebuilds it, and
+  a pool broken by a dead worker process is replaced on next use);
+* a **shared-segment cache** keyed by relation *fingerprint*
+  (:attr:`repro.datasets.columnar.ColumnarRelation.fingerprint`, a
+  content digest of the packed ring columns): the first join of a
+  relation copies its geometry into a
+  :class:`~repro.core.parallel_exec.SharedRelationSegment`, and every
+  later join of the same content ships **zero redundant bytes** — the
+  tile tasks simply reference the cached segment.  A relation whose
+  object list changed gets a fresh fingerprint (and so a fresh
+  segment); stale segments stay cached until :meth:`evict` or
+  :meth:`close`.
+
+Lifecycle is explicit: use the session as a context manager (or call
+:meth:`close`), after which the pool is shut down and every cached
+segment is unlinked — ``live_shared_segments()`` is empty again, the
+same leak-free guarantee the one-shot path has
+(``tests/test_parallel_exec_shm.py`` and the autouse leak fixture in
+``tests/conftest.py`` enforce it).
+
+Results are untouched by any of this: a warm session join is
+byte-identical — pairs, order, and merged
+:class:`~repro.core.stats.MultiStepStats` — to the serial partitioned
+join (``tests/test_session_scheduler_equivalence.py`` is the
+differential suite).
+
+Usage::
+
+    with JoinSession(config=JoinConfig(workers=4)) as session:
+        first = session.join(rel_a, rel_b)    # forks pool, ships segments
+        warm = session.join(rel_a, rel_b)     # reuses both: 0 new bytes
+        other = session.join(rel_a, rel_c)    # ships only rel_c
+
+    python -m repro join-batch a.wkt b.wkt --repeat 5 --workers 4
+
+``benchmarks/bench_session.py`` measures the first-join vs warm-join
+latency and the static vs stealing schedulers on a skewed grid
+(report: ``benchmarks/reports/session.txt``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from ..datasets.relations import SpatialRelation
+from .join import JoinConfig
+from .parallel_exec import (
+    ParallelPartitionedJoinResult,
+    SharedRelationSegment,
+    _pool_context,
+    parallel_partitioned_join,
+)
+
+
+class JoinSession:
+    """Long-lived context amortising parallel-join setup across joins.
+
+    See the module docstring for the model.  All state lives in the
+    creating process; worker processes stay stateless.
+    """
+
+    def __init__(
+        self,
+        config: Optional[JoinConfig] = None,
+        workers: Optional[int] = None,
+    ):
+        config = config or JoinConfig()
+        if workers is not None:
+            config = replace(config, workers=workers)
+        if config.session is not None:
+            # A session's default config must not point at another
+            # session (or itself) — joins run inside *this* one.
+            config = replace(config, session=None)
+        self.config = config
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        self._segments: Dict[str, SharedRelationSegment] = {}
+        self._closed = False
+        #: telemetry, cumulative over the session's lifetime.
+        self.joins_run = 0
+        self.segment_cache_hits = 0
+        self.segment_cache_misses = 0
+        self.pools_created = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "JoinSession":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every cached segment (idempotent)."""
+        self._closed = True
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+        segments, self._segments = self._segments, {}
+        for segment in segments.values():
+            segment.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "JoinSession is closed; create a new session to keep joining"
+            )
+
+    # -- joins --------------------------------------------------------------
+
+    def join(
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        grid: Optional[Tuple[int, int]] = None,
+        config: Optional[JoinConfig] = None,
+        workers: Optional[int] = None,
+    ) -> ParallelPartitionedJoinResult:
+        """One partitioned join inside this session.
+
+        Defaults come from the session's config; ``grid``, ``config``
+        and ``workers`` override per call.  Identical results to the
+        sessionless :func:`~repro.core.parallel_exec.parallel_partitioned_join`
+        — only the resource lifecycle differs.
+        """
+        self._ensure_open()
+        cfg = config or self.config
+        if workers is not None:
+            cfg = replace(cfg, workers=workers)
+        if cfg.session is not None:
+            cfg = replace(cfg, session=None)
+        return parallel_partitioned_join(
+            relation_a, relation_b, grid=grid, config=cfg, session=self
+        )
+
+    # -- pooled resources ---------------------------------------------------
+
+    def pool(self, n_workers: int) -> ProcessPoolExecutor:
+        """The persistent worker pool, (re)built for ``n_workers``.
+
+        Reused as long as consecutive joins ask for the same worker
+        count; a different count shuts the old pool down and forks a
+        fresh one.  A pool broken by a dying worker process is
+        discarded by the executor when the ``BrokenExecutor`` surfaces
+        (see ``parallel_exec._dispatch``), so the next join rebuilds it
+        here; the private broken flag is only probed as an extra
+        belt-and-braces check.
+        """
+        self._ensure_open()
+        broken = self._pool is not None and getattr(
+            self._pool, "_broken", False
+        )
+        if self._pool is not None and (
+            broken or self._pool_workers != n_workers
+        ):
+            self._discard_pool()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=_pool_context()
+            )
+            self._pool_workers = n_workers
+            self.pools_created += 1
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop the current pool so the next join forks a fresh one."""
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def segment_for(
+        self, relation: SpatialRelation
+    ) -> Tuple[SharedRelationSegment, bool]:
+        """The cached shared segment for the relation's current content.
+
+        Returns ``(segment, reused)``: ``reused`` is False exactly when
+        this call copied the relation's ring columns into a fresh
+        segment.  The segment's lifecycle belongs to the session — do
+        not close it; it is unlinked by :meth:`evict` or :meth:`close`.
+        """
+        self._ensure_open()
+        fingerprint = relation.columnar().fingerprint
+        segment = self._segments.get(fingerprint)
+        if segment is not None:
+            self.segment_cache_hits += 1
+            return segment, True
+        segment = SharedRelationSegment(relation)
+        self._segments[fingerprint] = segment
+        self.segment_cache_misses += 1
+        return segment, False
+
+    def evict(self, relation: SpatialRelation) -> bool:
+        """Unlink the cached segment of this relation's current content.
+
+        Returns True when a segment was cached (and is now gone); use
+        it to bound the cache when a relation will not be joined again.
+        """
+        self._ensure_open()
+        segment = self._segments.pop(
+            relation.columnar().fingerprint, None
+        )
+        if segment is None:
+            return False
+        segment.close()
+        return True
+
+    # -- telemetry ----------------------------------------------------------
+
+    @property
+    def cached_relations(self) -> int:
+        """Number of relations with a live cached segment."""
+        return len(self._segments)
+
+    @property
+    def cached_segment_bytes(self) -> int:
+        """Total shared-memory bytes currently cached."""
+        return sum(segment.nbytes for segment in self._segments.values())
+
+    def _note_join(self) -> None:
+        self.joins_run += 1
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"JoinSession({state}, joins={self.joins_run}, "
+            f"cached_relations={self.cached_relations}, "
+            f"pool_workers={self._pool_workers or None})"
+        )

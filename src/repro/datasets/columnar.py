@@ -32,6 +32,7 @@ which :meth:`SpatialRelation.columnar` in turn caches on the relation.
 
 from __future__ import annotations
 
+import hashlib
 from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence
 
 import numpy as np
@@ -130,6 +131,7 @@ class ColumnarRelation:
         ).reshape(-1, 4)
         self._areas: Optional[np.ndarray] = None
         self._rings: Optional[RingColumns] = None
+        self._fingerprint: Optional[str] = None
         self._approx: Dict[str, BatchApproxArrays] = {}
         #: packing events per approximation kind; stays at 1 per kind
         #: no matter how many joins read the store (regression-tested).
@@ -153,6 +155,28 @@ class ColumnarRelation:
         if self._rings is None:
             self._rings = pack_rings(self.objects, self.oids)
         return self._rings
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest identifying this relation's shipped geometry.
+
+        A blake2b digest over the relation name and the packed ring
+        columns — exactly the bytes a shared-memory segment would carry.
+        Two stores with equal fingerprints ship byte-identical segments,
+        which is what the session-level segment cache
+        (:class:`repro.core.session.JoinSession`) keys on; a relation
+        whose object list changed gets a fresh store (see
+        :meth:`SpatialRelation.columnar`) and therefore a fresh
+        fingerprint.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self.name.encode("utf-8"))
+            digest.update(len(self.objects).to_bytes(8, "little"))
+            for column in self.rings:
+                digest.update(np.ascontiguousarray(column).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def approx(self, kind: str) -> BatchApproxArrays:
         """The fully-packed approximation columns of ``kind``.

@@ -142,10 +142,50 @@ Parallel wire format — shared columns instead of pickled slices
     ``columnar=False`` (CLI ``--no-columnar``) keeps the legacy
     ``(oid, polygon)`` pickled-slice tasks.
 
+Tile scheduling — static order vs work stealing
+    How tiles reach the pool is a strategy of its own
+    (``JoinConfig(scheduler=...)``, CLI ``join --scheduler``).
+    ``static`` (default) submits and collects tiles in tile-key order —
+    the historical ``pool.map`` behaviour, kept as the differential
+    baseline.  ``stealing`` dispatches tiles largest-first (an LPT
+    heuristic over candidate volume) and lets idle workers pull the
+    next pending tile the moment they finish, so a skewed grid's hot
+    tile no longer serialises the tail of the join; on balanced grids
+    it degenerates to the static behaviour.  Either way the parent
+    folds worker outcomes in tile-key order, so results, order, and
+    merged statistics are byte-identical to the serial partitioned
+    join — ``tests/test_session_scheduler_equivalence.py`` and the
+    static-vs-stealing fuzz in ``tests/test_scheduler_fuzz.py`` enforce
+    it.  ``ParallelPartitionedJoinResult.steal_count`` /
+    ``completion_order`` report the dynamics; a worker exception
+    surfaces as ``TileExecutionError`` naming the failed tile.
+
+Join sessions — amortising setup across repeated joins
+    A one-shot ``parallel_partitioned_join`` forks a fresh pool and
+    ships fresh shared segments every call.  Serving workloads wrap
+    joins in a :class:`repro.core.session.JoinSession` instead: the
+    session owns a persistent worker pool (forked once per worker
+    count, reused by every later join, transparently replaced if
+    broken) and a shared-segment cache keyed by relation fingerprint
+    (a content digest of the packed ring columns), so repeated joins
+    of the same relations ship **zero** redundant bytes
+    (``result.shared_payload_bytes == 0`` warm).  Reuse a session
+    whenever the same relations are joined more than once — under
+    different predicates, engines, grids, or partners; create one-shot
+    joins only for one-off queries.  The cache holds segments until
+    ``evict()``/``close()``; the session is a context manager and
+    leaves ``live_shared_segments()`` empty on close, the same
+    leak-free guarantee as the one-shot path.
+    ``benchmarks/bench_session.py`` measures first-join vs warm-join
+    latency and the scheduler tradeoff on a skewed grid
+    (``benchmarks/reports/session.txt``).
+
 Choosing the parallel executor from the CLI::
 
     python -m repro join a.wkt b.wkt --engine batched --workers 4 --grid 4 4
+    python -m repro join a.wkt b.wkt --workers 4 --scheduler stealing
     python -m repro join a.wkt b.wkt --workers 4 --no-columnar  # legacy wire
+    python -m repro join-batch a.wkt b.wkt --repeat 5 --workers 4  # session
 """
 
 from .base import (

@@ -43,6 +43,27 @@ def square(cx: float, cy: float, half: float) -> Polygon:
     )
 
 
+@pytest.fixture(autouse=True)
+def no_leaked_shared_segments():
+    """Every test must leave shared memory clean.
+
+    The parallel executor and :class:`repro.core.session.JoinSession`
+    own shared-memory segment lifecycles; a segment still registered in
+    ``live_shared_segments()`` after a test is a leak.  This autouse
+    fixture replaces the ad-hoc per-test live-set assertions the shm
+    suite used to carry, and extends the guarantee to every test that
+    touches the parallel machinery (including sessions left open by
+    accident).
+    """
+    yield
+    from repro.core.parallel_exec import live_shared_segments
+
+    leaked = live_shared_segments()
+    assert leaked == frozenset(), (
+        f"test leaked shared-memory segments: {sorted(leaked)}"
+    )
+
+
 @pytest.fixture(scope="session")
 def tiny_europe():
     """A 60-object Europe-like relation (session-cached for speed)."""

@@ -158,6 +158,59 @@ def boundary_straddling_pair(
     return relations[0], relations[1]
 
 
+def clustered_relation_pair(
+    seed: int,
+    grid: Tuple[int, int] = (4, 4),
+    n_objects: int = 16,
+    hot_fraction: float = 0.75,
+) -> Tuple[SpatialRelation, SpatialRelation]:
+    """Two skewed relations whose candidate pairs crowd into one hot tile.
+
+    The joint space is pinned to the unit square with tiny corner
+    anchors; ``hot_fraction`` of each relation's objects are packed
+    into the grid's lower-left tile with radii large enough to overlap
+    each other densely (one tile owns almost all candidate pairs),
+    while the rest are sprinkled thinly across the remaining tiles.
+    Worst case for static tile dispatch — the hot tile straggles while
+    every other tile finishes instantly — and therefore the generator
+    behind the scheduler differential and fuzz suites.
+    """
+    nx, ny = grid
+    rng = random.Random(seed)
+    hot_w, hot_h = 1.0 / nx, 1.0 / ny
+    relations = []
+    for rel_idx in range(2):
+        polys: List[Polygon] = [
+            grid_square(0.005, 0.005, 0.005),
+            grid_square(0.995, 0.995, 0.005),
+        ]
+        n_hot = max(1, int(round(n_objects * hot_fraction)))
+        for _ in range(n_hot):
+            cx = rng.uniform(0.15, 0.85) * hot_w
+            cy = rng.uniform(0.15, 0.85) * hot_h
+            polys.append(
+                random_star(
+                    rng, cx, cy,
+                    rng.uniform(0.25, 0.6) * min(hot_w, hot_h),
+                    rng.randint(5, 12),
+                )
+            )
+        for _ in range(n_objects - n_hot):
+            polys.append(
+                random_star(
+                    rng,
+                    rng.uniform(0.05, 0.95),
+                    rng.uniform(0.05, 0.95),
+                    rng.uniform(0.02, 0.08),
+                    rng.randint(5, 10),
+                )
+            )
+        relations.append(
+            SpatialRelation(f"{'AB'[rel_idx]}hot{seed}", polys)
+        )
+    return relations[0], relations[1]
+
+
 def stats_fingerprint(stats: MultiStepStats) -> Dict[str, object]:
     """Every counter a differential test must see agree across engines."""
     return {

@@ -138,6 +138,85 @@ class TestJoinWorkers:
         err = capsys.readouterr().err
         assert "grid" in err and "1x1" in err
 
+    def test_bad_grid_rejected_even_for_serial_join(self, wkt_pair, capsys):
+        """Grid validation happens at the config boundary, not mid-join."""
+        path_a, path_b = wkt_pair
+        assert main(
+            ["join", path_a, path_b, "--grid", "3", "-2"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "grid" in err and "1x1" in err
+
+    def test_bad_scheduler_rejected(self, wkt_pair):
+        path_a, path_b = wkt_pair
+        with pytest.raises(SystemExit):
+            main(["join", path_a, path_b, "--workers", "2",
+                  "--scheduler", "chaotic"])
+
+    @pytest.mark.parallel
+    def test_stealing_scheduler_matches_serial(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+
+        def pair_lines(out):
+            return sorted(l for l in out.splitlines() if "\t" in l)
+
+        main(["join", path_a, path_b, "--exact", "vectorized", "--pairs"])
+        serial = pair_lines(capsys.readouterr().out)
+        assert main(
+            ["join", path_a, path_b, "--exact", "vectorized", "--pairs",
+             "--workers", "2", "--grid", "3", "3",
+             "--scheduler", "stealing"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scheduler stealing" in out
+        assert pair_lines(out) == serial
+
+
+class TestJoinBatch:
+    @pytest.mark.parallel
+    def test_join_batch_reuses_segments_and_pool(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(
+            ["join-batch", path_a, path_b, "--exact", "vectorized",
+             "--workers", "2", "--grid", "3", "3", "--repeat", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "join 1/3" in out and "join 3/3" in out
+        warm_lines = [
+            l for l in out.splitlines()
+            if "0 new shared bytes" in l and "2 cached segments reused" in l
+        ]
+        assert len(warm_lines) == 2, out
+        assert "1 pools forked" in out
+        assert "4 segment cache hits" in out
+        assert "best warm join" in out
+
+    def test_join_batch_single_repeat_serial_workers(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(
+            ["join-batch", path_a, path_b, "--exact", "vectorized",
+             "--repeat", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "join 1/1" in out
+        assert "0 pools forked" in out  # workers=1 never forks a pool
+
+    def test_join_batch_bad_repeat_rejected(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(
+            ["join-batch", path_a, path_b, "--repeat", "0"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "repeat" in err
+
+    def test_join_batch_bad_grid_rejected(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(
+            ["join-batch", path_a, path_b, "--grid", "0", "2"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "grid" in err and "1x1" in err
+
 
 class TestEstimateCommand:
     def test_estimate_runs(self, wkt_pair, capsys):

@@ -85,6 +85,93 @@ def test_exact_batch_accepted_for_vectorized():
         assert JoinConfig(exact_method=exact).exact_batch == 1
 
 
+@pytest.mark.parametrize(
+    "grid", ((0, 4), (4, 0), (0, 0), (-1, 2), (2, -3))
+)
+def test_grid_below_one_rejected(grid):
+    """Bad grids fail at the config boundary, not inside the planner."""
+    with pytest.raises(ValueError) as excinfo:
+        JoinConfig(grid=grid)
+    message = str(excinfo.value)
+    # Mirrors the workers/batch_size style: the message names the
+    # offending value's field and the minimum (a 1x1 grid).
+    assert "grid" in message and "1x1" in message
+
+
+@pytest.mark.parametrize(
+    "grid",
+    ((1.5, 2), ("4", 4), (2, True), (4,), (1, 2, 3), 4, None),
+)
+def test_malformed_grid_rejected(grid):
+    with pytest.raises(ValueError, match="grid"):
+        JoinConfig(grid=grid)
+
+
+def test_grid_coerced_to_tuple():
+    """CLI-style list grids become tuples so the config stays hashable."""
+    config = JoinConfig(grid=[3, 2])
+    assert config.grid == (3, 2)
+    assert isinstance(config.grid, tuple)
+
+
+def test_validate_grid_helper_shared_with_executor():
+    """The executor's explicit grid argument uses the same validation."""
+    from repro.core import validate_grid
+
+    assert validate_grid([2, 5]) == (2, 5)
+    with pytest.raises(ValueError, match="1x1"):
+        validate_grid((0, 4))
+
+
+def test_unknown_scheduler_names_choices():
+    from repro.core import SCHEDULERS
+
+    with pytest.raises(ValueError) as excinfo:
+        JoinConfig(scheduler="psychic")
+    message = str(excinfo.value)
+    assert "psychic" in message
+    for choice in SCHEDULERS:
+        assert choice in message
+
+
+def test_valid_schedulers_accepted():
+    from repro.core import SCHEDULERS
+
+    for scheduler in SCHEDULERS:
+        assert JoinConfig(scheduler=scheduler).scheduler == scheduler
+    assert set(SCHEDULERS) == {"static", "stealing"}
+
+
+def test_scheduler_registry_consistent_with_factory():
+    """Config choices, CLI choices, and the factory agree."""
+    from repro.core import SCHEDULERS, create_scheduler
+
+    for name in SCHEDULERS:
+        assert create_scheduler(name).name == name
+    with pytest.raises(ValueError, match="psychic"):
+        create_scheduler("psychic")
+
+
+def test_non_session_session_rejected():
+    with pytest.raises(ValueError, match="session"):
+        JoinConfig(session=42)
+
+
+def test_session_config_composes_with_parallel_pickle_check():
+    """A live session never ships to workers: the probe strips it."""
+    import pickle
+    from dataclasses import replace
+
+    from repro.core.session import JoinSession
+
+    with JoinSession() as session:
+        config = JoinConfig(workers=2, session=session)
+        assert config.session is session
+        # What actually crosses the process boundary is picklable.
+        wire = replace(config, session=None)
+        assert pickle.loads(pickle.dumps(wire)) == wire
+
+
 @pytest.mark.parametrize("workers", (0, -1, -8))
 def test_workers_below_one_rejected(workers):
     with pytest.raises(ValueError) as excinfo:

@@ -19,6 +19,7 @@ from repro.core import JoinConfig, SpatialJoinProcessor
 from repro.core import parallel_exec
 from repro.core.parallel_exec import (
     ColumnarShipment,
+    TileExecutionError,
     live_shared_segments,
     parallel_partitioned_join,
 )
@@ -26,9 +27,9 @@ from repro.core.parallel_exec import (
 pytestmark = pytest.mark.parallel
 
 
-def _config() -> JoinConfig:
+def _config(**overrides) -> JoinConfig:
     return JoinConfig(exact_method="vectorized", engine="batched",
-                      batch_size=16)
+                      batch_size=16, **overrides)
 
 
 def _capture_segments(monkeypatch):
@@ -45,8 +46,10 @@ def _capture_segments(monkeypatch):
 
 
 def _assert_all_unlinked(names):
+    # (The live-set emptiness itself is asserted by the autouse
+    # ``no_leaked_shared_segments`` fixture after every test; here we
+    # prove the /dev/shm entries are really gone.)
     assert names, "the join must have created shared segments"
-    assert live_shared_segments() == frozenset()
     for name in names:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
@@ -93,7 +96,7 @@ def test_segments_unlinked_on_workers_1_degenerate_path(monkeypatch):
 def test_segments_unlinked_on_worker_failure(monkeypatch):
     created = _capture_segments(monkeypatch)
 
-    def exploding_dispatch(tasks, runner, n_workers):
+    def exploding_dispatch(tasks, runner, n_workers, **kwargs):
         raise RuntimeError("worker crashed")
 
     monkeypatch.setattr(parallel_exec, "_dispatch", exploding_dispatch)
@@ -108,7 +111,7 @@ def test_segments_unlinked_on_worker_failure(monkeypatch):
 def test_segments_unlinked_on_keyboard_interrupt(monkeypatch):
     created = _capture_segments(monkeypatch)
 
-    def interrupted_dispatch(tasks, runner, n_workers):
+    def interrupted_dispatch(tasks, runner, n_workers, **kwargs):
         raise KeyboardInterrupt()
 
     monkeypatch.setattr(parallel_exec, "_dispatch", interrupted_dispatch)
@@ -117,6 +120,60 @@ def test_segments_unlinked_on_keyboard_interrupt(monkeypatch):
         parallel_partitioned_join(
             rel_a, rel_b, grid=(3, 3), config=_config(), workers=2
         )
+    _assert_all_unlinked(created)
+
+
+def _always_crashing_runner(task):
+    """Module-level so fork workers can resolve it by reference."""
+    raise RuntimeError(f"boom in tile {task.tile}")
+
+
+def test_worker_crash_attributes_tile_and_unlinks_pool(monkeypatch):
+    """A worker exception surfaces the tile index; segments still unlink."""
+    created = _capture_segments(monkeypatch)
+    monkeypatch.setattr(
+        parallel_exec, "run_columnar_tile_task", _always_crashing_runner
+    )
+    rel_a, rel_b = random_relation_pair(407, n_objects=10)
+    with pytest.raises(TileExecutionError) as excinfo:
+        parallel_partitioned_join(
+            rel_a, rel_b, grid=(3, 3), config=_config(), workers=2
+        )
+    assert isinstance(excinfo.value.tile, tuple)
+    assert str(excinfo.value.tile) in str(excinfo.value)
+    assert isinstance(excinfo.value.cause, RuntimeError)
+    _assert_all_unlinked(created)
+
+
+@pytest.mark.parametrize("scheduler", ("static", "stealing"))
+def test_tile_failure_attribution_is_exact_in_process(
+    monkeypatch, scheduler
+):
+    """Only the crashing tile is blamed — earlier tiles run through."""
+    rel_a, rel_b = random_relation_pair(408, n_objects=10)
+    config = _config(scheduler=scheduler)
+    tasks, _, shipment = parallel_exec.plan_columnar_tile_tasks(
+        rel_a, rel_b, (3, 3), config
+    )
+    shipment.close()
+    assert len(tasks) >= 2, "need at least two joinable tiles"
+    target = tasks[1].tile
+    real = parallel_exec.run_columnar_tile_task
+
+    def crash_on_target(task):
+        if task.tile == target:
+            raise RuntimeError("boom")
+        return real(task)
+
+    monkeypatch.setattr(
+        parallel_exec, "run_columnar_tile_task", crash_on_target
+    )
+    created = _capture_segments(monkeypatch)
+    with pytest.raises(TileExecutionError) as excinfo:
+        parallel_partitioned_join(
+            rel_a, rel_b, grid=(3, 3), config=config, workers=1
+        )
+    assert excinfo.value.tile == target
     _assert_all_unlinked(created)
 
 
@@ -133,6 +190,7 @@ def test_columnar_tasks_and_outcomes_are_picklable():
     tasks, partitions, shipment = plan_columnar_tile_tasks(
         rel_a, rel_b, (3, 3), _config()
     )
+    names = list(shipment.segment_names)
     try:
         assert tasks, "generator produced no joinable tiles"
         assert len(partitions) == 9
@@ -148,4 +206,4 @@ def test_columnar_tasks_and_outcomes_are_picklable():
             assert again.id_pairs == outcome.id_pairs
     finally:
         shipment.close()
-    _assert_all_unlinked(list(shipment.segment_names))
+    _assert_all_unlinked(names)
