@@ -8,11 +8,12 @@
 #   make bench-columnar - columnar wire-format + repack benchmark, quick scale
 #   make bench-refine  - scalar vs batched exact-step benchmark, quick scale
 #   make bench-session - warm-session reuse + scheduler benchmark, quick scale
+#   make bench-tree    - grid vs tree-guided task formation benchmark, quick scale
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: test test-fast test-parallel bench-engine bench-parallel \
-	bench-columnar bench-refine bench-session
+	bench-columnar bench-refine bench-session bench-tree
 
 test:
 	$(PYTEST) -x -q
@@ -37,3 +38,6 @@ bench-refine:
 
 bench-session:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_session.py
+
+bench-tree:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_tree_partition.py

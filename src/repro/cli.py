@@ -152,6 +152,15 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                              "dispatches size-ordered and lets idle workers "
                              "pull the next pending tile (results are "
                              "identical either way)")
+    parser.add_argument("--partitioner", default="grid",
+                        choices=("grid", "rtree"),
+                        help="tile-formation strategy for --workers > 1: "
+                             "'grid' cuts the data space into uniform "
+                             "--grid tiles, 'rtree' forms tasks from the "
+                             "leaf overlaps of a synchronized R*-tree "
+                             "traversal with space-filling-curve "
+                             "declustering (results are identical either "
+                             "way)")
     parser.add_argument("--columnar", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="use the relation-level columnar store: "
@@ -181,6 +190,7 @@ def _join_config(args: argparse.Namespace) -> JoinConfig:
         workers=args.workers,
         columnar=args.columnar,
         scheduler=args.scheduler,
+        partitioner=args.partitioner,
         grid=tuple(args.grid),
     )
 
@@ -236,10 +246,16 @@ def cmd_join(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if result.partitioner == "rtree":
+            formation = f"{result.tile_tasks} tree-guided tasks (rtree)"
+        else:
+            formation = (
+                f"{result.tile_tasks} tile tasks on a "
+                f"{config.grid[0]}x{config.grid[1]} grid"
+            )
         print(
             f"parallel executor: {config.workers} workers, "
-            f"{result.tile_tasks} tile tasks on a "
-            f"{config.grid[0]}x{config.grid[1]} grid, "
+            f"{formation}, "
             f"scheduler {result.scheduler} ({result.steal_count} steals), "
             f"wire format {result.wire_format}, "
             f"{result.elapsed_seconds * 1e3:.0f} ms"
@@ -358,11 +374,18 @@ def cmd_overlay(args: argparse.Namespace) -> int:
 
 
 def cmd_distance(args: argparse.Namespace) -> int:
-    from .core.distance import within_distance_join
+    from .core.distance import validate_epsilon, within_distance_join
 
+    # Validate before loading anything: a bad threshold should fail
+    # fast at the argument boundary, like `join` validates its config.
+    try:
+        epsilon = validate_epsilon(args.epsilon)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rel_a = load_relation(args.relation_a)
     rel_b = load_relation(args.relation_b)
-    result = within_distance_join(rel_a, rel_b, args.epsilon)
+    result = within_distance_join(rel_a, rel_b, epsilon)
     stats = result.stats
     print(f"within-distance join (eps={args.epsilon}): {len(result)} pairs")
     print(f"  candidates:        {stats.candidate_pairs}")
@@ -376,12 +399,17 @@ def cmd_distance(args: argparse.Namespace) -> int:
 
 
 def cmd_knn(args: argparse.Namespace) -> int:
-    from .index.knn import knn_query
+    from .index.knn import knn_query, validate_k
 
+    try:
+        k = validate_k(args.k)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     relation = load_relation(args.relation)
     tree = relation.build_rtree()
     point = (args.point[0], args.point[1])
-    results = knn_query(tree, point, args.k)
+    results = knn_query(tree, point, k)
     print(f"{len(results)} nearest objects to {point}:")
     for dist, obj in results:
         print(f"  object {obj.oid}  mindist={dist:.6f}")

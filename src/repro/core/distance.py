@@ -164,6 +164,22 @@ class DistanceJoinResult:
         return len(self.pairs)
 
 
+def validate_epsilon(epsilon: float) -> float:
+    """Boundary validation of a distance threshold.
+
+    Raises ``ValueError`` naming the offending value for a negative or
+    non-finite epsilon (NaN threshold would silently match nothing),
+    so callers — including the CLI ``distance`` command — fail at the
+    argument boundary instead of deep inside the pipeline.
+    """
+    epsilon = float(epsilon)
+    if math.isnan(epsilon) or math.isinf(epsilon):
+        raise ValueError(f"epsilon must be finite, got {epsilon}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    return epsilon
+
+
 def within_distance_join(
     relation_a: SpatialRelation,
     relation_b: SpatialRelation,
@@ -171,8 +187,7 @@ def within_distance_join(
     config: Optional[DistanceJoinConfig] = None,
 ) -> DistanceJoinResult:
     """All pairs ``(a, b)`` with ``distance(a, b) <= epsilon``."""
-    if epsilon < 0:
-        raise ValueError("epsilon must be >= 0")
+    epsilon = validate_epsilon(epsilon)
     cfg = config or DistanceJoinConfig()
     stats = DistanceJoinStats()
     pairs = list(_pipeline(relation_a, relation_b, epsilon, cfg, stats))

@@ -36,6 +36,12 @@ ENGINES = ("streaming", "batched")
 #: :mod:`repro.core.parallel_exec` for the dispatch strategies).
 SCHEDULERS = ("static", "stealing")
 
+#: tile-formation strategies accepted by :class:`JoinConfig` (see
+#: :mod:`repro.core.partition` for the partitioner layer): 'grid' cuts
+#: the joint data space into uniform tiles, 'rtree' forms tasks from
+#: the leaf-overlap pairs of a synchronized R*-tree traversal.
+PARTITIONERS = ("grid", "rtree")
+
 
 def validate_grid(grid) -> Tuple[int, int]:
     """Validate a partition grid at the config/CLI boundary.
@@ -105,6 +111,15 @@ class JoinConfig:
     #: the next pending tile.  Results, order, and statistics are
     #: identical either way (the merge is tile-sorted).
     scheduler: str = "static"
+    #: tile-formation strategy for the partitioned executor: 'grid'
+    #: (default) cuts the joint data space into ``grid`` uniform tiles
+    #: with reference-tile de-duplication; 'rtree' bulk-loads (or
+    #: reuses) R*-trees over both relations' MBR columns, runs the
+    #: restricted synchronized traversal to a work budget, and emits
+    #: leaf-overlap tasks — disjoint candidate index-sets that need no
+    #: de-duplication and follow the data's clustering instead of a
+    #: uniform grid (see :mod:`repro.core.partition`).
+    partitioner: str = "grid"
     #: partition grid ``(nx, ny)`` for the tile executor; validated
     #: here (integers, both >= 1) instead of deep inside
     #: ``plan_tile_indices``.
@@ -143,6 +158,11 @@ class JoinConfig:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; "
                 f"expected one of {SCHEDULERS}"
+            )
+        if self.partitioner not in PARTITIONERS:
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"expected one of {PARTITIONERS}"
             )
         # Coerce list/sequence grids (e.g. from the CLI) to a tuple so
         # the config stays hashable and comparable.

@@ -2,11 +2,16 @@
 
 :mod:`repro.core.parallel` *models* the paper's §6 CPU/I-O-parallelism
 outlook with a deterministic LPT-scheduling simulator; this module runs
-it for real.  The grid tiles produced by :mod:`repro.core.partition` are
-shipped to a :class:`concurrent.futures.ProcessPoolExecutor`, joined
-locally in each worker with the configured engine (streaming or
-batched), de-duplicated with the same reference-tile rule as the serial
-partitioned join, and merged back into one deterministic result.
+it for real.  The tasks produced by a :mod:`repro.core.partition`
+strategy — uniform grid tiles (``JoinConfig(partitioner="grid")``) or
+tree-guided leaf-overlap tasks from the synchronized R*-tree traversal
+(``partitioner="rtree"``) — are shipped to a
+:class:`concurrent.futures.ProcessPoolExecutor`, joined locally in each
+worker with the configured engine (streaming or batched),
+de-duplicated where the strategy requires it (grid tiles use the
+reference-tile rule of the serial partitioned join; tree tasks are
+disjoint by construction and skip it), and merged back into one
+deterministic result.
 
 Two wire formats carry a tile to its worker:
 
@@ -95,10 +100,10 @@ from ..geometry import Polygon, Rect
 from .join import SCHEDULERS, JoinConfig, SpatialJoinProcessor, validate_grid
 from .partition import (
     PartitionedJoinResult,
+    PartitionPlan,
     PartitionStats,
+    create_partitioner,
     owning_tile,
-    plan_tile_buckets,
-    plan_tile_indices,
     subrelation,
 )
 from .stats import MultiStepStats
@@ -114,8 +119,10 @@ class TileTask:
     Carries everything a worker needs and nothing it does not: the two
     relation slices as ``(oid, polygon)`` pairs (cached approximations
     and TR*-trees are rebuilt in the worker — they are derived data),
-    the tile key, the joint data space and grid shape for the
-    reference-tile de-duplication, and the full :class:`JoinConfig`.
+    the task key, the reference-tile de-duplication frame
+    (``space``/``grid`` — both ``None`` for tree-guided tasks, whose
+    candidate sets are disjoint by construction), and the full
+    :class:`JoinConfig`.
     """
 
     tile: Tuple[int, int]
@@ -123,8 +130,8 @@ class TileTask:
     name_b: str
     objects_a: Tuple[WireObject, ...]
     objects_b: Tuple[WireObject, ...]
-    space: Tuple[float, float, float, float]
-    grid: Tuple[int, int]
+    space: Optional[Tuple[float, float, float, float]]
+    grid: Optional[Tuple[int, int]]
     config: JoinConfig
 
 
@@ -161,8 +168,8 @@ class ColumnarTileTask:
     spec_b: SharedRelationSpec
     idx_a: np.ndarray
     idx_b: np.ndarray
-    space: Tuple[float, float, float, float]
-    grid: Tuple[int, int]
+    space: Optional[Tuple[float, float, float, float]]
+    grid: Optional[Tuple[int, int]]
     config: JoinConfig
 
 
@@ -192,6 +199,9 @@ class ParallelPartitionedJoinResult(PartitionedJoinResult):
     shared_payload_bytes: int = 0
     #: scheduler that dispatched the tiles: "static" or "stealing".
     scheduler: str = "static"
+    #: tile-formation strategy that produced the tasks: "grid" or
+    #: "rtree" (tree-guided leaf-overlap tasks).
+    partitioner: str = "grid"
     #: completions that overtook an earlier-dispatched, still-pending
     #: tile — dynamic balancing in action (0 under "static").
     steal_count: int = 0
@@ -391,6 +401,17 @@ def _attach_segment(spec: SharedRelationSpec) -> shared_memory.SharedMemory:
 # ---------------------------------------------------------------------------
 
 
+def _partition_plan(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    grid: Tuple[int, int],
+    config: JoinConfig,
+) -> PartitionPlan:
+    """Run the configured tile-formation strategy (grid or rtree)."""
+    strategy = create_partitioner(config.partitioner)
+    return strategy.plan(relation_a, relation_b, grid)
+
+
 def plan_tile_tasks(
     relation_a: SpatialRelation,
     relation_b: SpatialRelation,
@@ -399,37 +420,42 @@ def plan_tile_tasks(
 ) -> Tuple[List[TileTask], List[PartitionStats]]:
     """Decompose a join into picklable per-tile tasks (pickled slices).
 
-    Returns the tasks (non-empty tiles only, in tile-key order) and a
-    :class:`PartitionStats` shell for *every* tile — empty tiles appear
-    with zero counts, exactly as in the serial partitioned join.  The
-    decomposition itself comes from the shared
+    Returns the tasks (non-empty only, in the plan's dispatch order —
+    tile-key order for the grid strategy, space-filling-curve order for
+    the tree strategy) and a :class:`PartitionStats` shell for every
+    plan entry in key order, with grid plans listing empty tiles at
+    zero counts exactly as in the serial partitioned join.  The grid
+    decomposition comes from the shared
     :func:`~repro.core.partition.plan_tile_indices`, so tile order and
     replication can never diverge from the serial path.
     """
-    space, plan = plan_tile_buckets(relation_a, relation_b, grid)
+    plan = _partition_plan(relation_a, relation_b, grid, config)
+    objects_a = relation_a.objects
+    objects_b = relation_b.objects
 
     tasks: List[TileTask] = []
-    partitions: List[PartitionStats] = []
-    for key, objs_a, objs_b in plan:
-        partitions.append(
-            PartitionStats(tile=key, objects_a=len(objs_a),
-                           objects_b=len(objs_b))
-        )
-        if not objs_a or not objs_b:
+    for key, idx_a, idx_b in plan.entries:
+        if idx_a.size == 0 or idx_b.size == 0:
             continue
         tasks.append(
             TileTask(
                 tile=key,
                 name_a=relation_a.name,
                 name_b=relation_b.name,
-                objects_a=tuple((o.oid, o.polygon) for o in objs_a),
-                objects_b=tuple((o.oid, o.polygon) for o in objs_b),
-                space=(space.xmin, space.ymin, space.xmax, space.ymax),
-                grid=grid,
+                objects_a=tuple(
+                    (objects_a[i].oid, objects_a[i].polygon)
+                    for i in idx_a.tolist()
+                ),
+                objects_b=tuple(
+                    (objects_b[i].oid, objects_b[i].polygon)
+                    for i in idx_b.tolist()
+                ),
+                space=plan.space_tuple,
+                grid=plan.grid,
                 config=config,
             )
         )
-    return tasks, partitions
+    return tasks, plan.partition_shells()
 
 
 def _columnar_tasks_for_specs(
@@ -447,14 +473,9 @@ def _columnar_tasks_for_specs(
     from the :class:`~repro.core.session.JoinSession` cache) — one task
     format either way.
     """
-    space, plan = plan_tile_indices(relation_a, relation_b, grid)
+    plan = _partition_plan(relation_a, relation_b, grid, config)
     tasks: List[ColumnarTileTask] = []
-    partitions: List[PartitionStats] = []
-    for key, idx_a, idx_b in plan:
-        partitions.append(
-            PartitionStats(tile=key, objects_a=len(idx_a),
-                           objects_b=len(idx_b))
-        )
+    for key, idx_a, idx_b in plan.entries:
         if idx_a.size == 0 or idx_b.size == 0:
             continue
         tasks.append(
@@ -464,12 +485,12 @@ def _columnar_tasks_for_specs(
                 spec_b=spec_b,
                 idx_a=idx_a,
                 idx_b=idx_b,
-                space=(space.xmin, space.ymin, space.xmax, space.ymax),
-                grid=grid,
+                space=plan.space_tuple,
+                grid=plan.grid,
                 config=config,
             )
         )
-    return tasks, partitions
+    return tasks, plan.partition_shells()
 
 
 def plan_columnar_tile_tasks(
@@ -478,12 +499,12 @@ def plan_columnar_tile_tasks(
     grid: Tuple[int, int],
     config: JoinConfig,
 ) -> Tuple[List[ColumnarTileTask], List[PartitionStats], ColumnarShipment]:
-    """Columnar decomposition: shared segments + per-tile index arrays.
+    """Columnar decomposition: shared segments + per-task index arrays.
 
-    Same tile plan as :func:`plan_tile_tasks` (both delegate to
-    :func:`~repro.core.partition.plan_tile_indices`), but each task
-    references the relations' shared ring columns instead of carrying
-    pickled object slices.  The caller owns the returned
+    Same task plan as :func:`plan_tile_tasks` (both delegate to the
+    configured :class:`~repro.core.partition.Partitioner`), but each
+    task references the relations' shared ring columns instead of
+    carrying pickled object slices.  The caller owns the returned
     :class:`ColumnarShipment` and must :meth:`~ColumnarShipment.close`
     it once the outcomes are in — in a ``finally`` block.
     """
@@ -565,13 +586,21 @@ def _finish_tile(task, rel_a, rel_b, start: float, refinement=None) -> TileOutco
     result = SpatialJoinProcessor(config).join(
         rel_a, rel_b, refinement=refinement
     )
-    space = Rect(*task.space)
-    nx, ny = task.grid
-    owned = [
-        (obj_a.oid, obj_b.oid)
-        for obj_a, obj_b in result.pairs
-        if owning_tile(obj_a.mbr, obj_b.mbr, space, nx, ny) == task.tile
-    ]
+    if task.grid is None:
+        # Tree-guided tasks partition the candidate-pair space
+        # disjointly (each object lives in exactly one leaf), so every
+        # pair this task emits is owned by it — no reference-tile rule.
+        owned = [
+            (obj_a.oid, obj_b.oid) for obj_a, obj_b in result.pairs
+        ]
+    else:
+        space = Rect(*task.space)
+        nx, ny = task.grid
+        owned = [
+            (obj_a.oid, obj_b.oid)
+            for obj_a, obj_b in result.pairs
+            if owning_tile(obj_a.mbr, obj_b.mbr, space, nx, ny) == task.tile
+        ]
     return TileOutcome(
         tile=task.tile,
         id_pairs=owned,
@@ -893,29 +922,39 @@ def parallel_partitioned_join(
     config: Optional[JoinConfig] = None,
     workers: Optional[int] = None,
     session=None,
+    partitioner: Optional[str] = None,
 ) -> ParallelPartitionedJoinResult:
-    """Grid-partitioned multi-step join on a real process pool.
+    """Partitioned multi-step join on a real process pool.
 
-    ``workers`` overrides ``config.workers`` and ``grid`` overrides
-    ``config.grid`` when given.  ``config.scheduler`` selects how tiles
-    reach the workers (static tile order or size-ordered work stealing,
-    see module docstring); outcomes are folded in tile-key order, so
-    the merged output is deterministic regardless of which worker
-    finishes first — identical pairs, order, and merged statistics as
-    the serial :func:`partitioned_join` on the same grid under every
-    scheduler.  ``config.columnar`` selects the wire format; either
-    format produces the same outcomes.
+    ``workers`` overrides ``config.workers``, ``grid`` overrides
+    ``config.grid`` and ``partitioner`` overrides ``config.partitioner``
+    when given.  ``config.partitioner`` selects the tile-formation
+    strategy (uniform grid tiles or tree-guided leaf-overlap tasks, see
+    :mod:`repro.core.partition`); ``config.scheduler`` selects how the
+    tasks reach the workers (static dispatch order or size-ordered work
+    stealing, see module docstring).  Outcomes are folded in task-key
+    order, so the merged output is deterministic regardless of which
+    worker finishes first — for the grid strategy identical pairs,
+    order, and merged statistics as the serial :func:`partitioned_join`
+    on the same grid under every scheduler, and for the tree strategy
+    identical across every worker count and scheduler (its task
+    decomposition depends only on the relations).  ``config.columnar``
+    selects the wire format; either format produces the same outcomes.
 
     ``session`` (or ``config.session``) runs the join inside a
     :class:`repro.core.session.JoinSession`: the worker pool persists
     across joins and shared segments are served from the session's
     fingerprint-keyed cache, so repeated joins of the same relations
-    ship zero redundant bytes.  Without a session every resource is
-    created and torn down around this one call.
+    ship zero redundant bytes.  The segments are leased (pinned) for
+    the duration of the join, so a byte-bounded session cache can never
+    evict them mid-flight.  Without a session every resource is created
+    and torn down around this one call.
     """
     config = config or JoinConfig()
     if workers is not None:
         config = replace(config, workers=workers)
+    if partitioner is not None:
+        config = replace(config, partitioner=partitioner)
     if session is None:
         session = config.session
     if session is not None:
@@ -931,6 +970,7 @@ def parallel_partitioned_join(
 
     start = time.perf_counter()
     shipment: Optional[ColumnarShipment] = None
+    lease = None
     shipped_bytes = reused_bytes = 0
     cache_hits = cache_misses = 0
     try:
@@ -938,10 +978,8 @@ def parallel_partitioned_join(
             runner: Callable = run_columnar_tile_task
             wire_format = "columnar-shm"
             if session is not None:
-                segments = []
-                for relation in (relation_a, relation_b):
-                    segment, reused = session.segment_for(relation)
-                    segments.append(segment)
+                lease = session.lease_segments((relation_a, relation_b))
+                for segment, reused in zip(lease.segments, lease.reused):
                     if reused:
                         cache_hits += 1
                         reused_bytes += segment.nbytes
@@ -950,7 +988,7 @@ def parallel_partitioned_join(
                         shipped_bytes += segment.nbytes
                 tasks, partitions = _columnar_tasks_for_specs(
                     relation_a, relation_b, grid, wire_config,
-                    segments[0].spec, segments[1].spec,
+                    lease.segments[0].spec, lease.segments[1].spec,
                 )
             else:
                 tasks, partitions, shipment = plan_columnar_tile_tasks(
@@ -970,6 +1008,8 @@ def parallel_partitioned_join(
     finally:
         if shipment is not None:
             shipment.close()
+        if lease is not None:
+            lease.release()
 
     # Deterministic merge: fold outcomes in tile-key order no matter
     # which worker finished first (the stealing scheduler completes out
@@ -1004,6 +1044,7 @@ def parallel_partitioned_join(
         wire_format=wire_format,
         shared_payload_bytes=shipped_bytes,
         scheduler=scheduler.name,
+        partitioner=config.partitioner,
         steal_count=report.steals,
         completion_order=list(report.completion_order),
         segment_cache_hits=cache_hits,

@@ -21,18 +21,39 @@ slices.  The helpers (:func:`joint_space`, :func:`tile_rects`,
 :func:`owning_tile`) are shared with the real multi-process executor in
 :mod:`repro.core.parallel_exec`, which runs the same tiles on a
 :class:`concurrent.futures.ProcessPoolExecutor`.
+
+**Tile formation is a pluggable strategy** (``JoinConfig(partitioner=...)``,
+CLI ``join --partitioner``).  :class:`GridPartitioner` produces the
+uniform grid decomposition described above.  :class:`TreePartitioner`
+instead bulk-loads (or reuses, via
+:meth:`repro.datasets.columnar.ColumnarRelation.partition_tree`)
+R*-trees over both relations' MBR columns and runs the restricted
+synchronized traversal of [BKS 93a] down to a work budget, emitting
+**leaf-overlap tasks** — pairs of candidate row-index sets.  Because an
+R*-tree stores every object in exactly one leaf, the emitted tasks
+partition the candidate-pair space *disjointly*: no object replication,
+no reference-tile de-duplication, and task extents follow the data's
+clustering instead of a uniform grid (hot clusters split into many
+small tasks, empty space produces none).  Tasks are declustered across
+workers by ordering dispatch along a Hilbert or Z-order space-filling
+curve (:mod:`repro.index.hilbert` / :mod:`repro.index.zorder`) over the
+task regions.  Either strategy yields a :class:`PartitionPlan` in the
+same index-array shape, so both run behind the executor's unchanged
+``Scheduler``/``ColumnarTileTask`` wire format with byte-identical
+results to the serial join.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..datasets.relations import SpatialObject, SpatialRelation
 from ..geometry import Rect
-from .join import JoinConfig, JoinResult, SpatialJoinProcessor
+from .join import PARTITIONERS, JoinConfig, JoinResult, SpatialJoinProcessor
 from .stats import MultiStepStats
 
 
@@ -290,3 +311,254 @@ def owning_tile(
     ix = int((inter.xmin - space.xmin) / space.width * nx) if space.width else 0
     iy = int((inter.ymin - space.ymin) / space.height * ny) if space.height else 0
     return (min(nx - 1, max(0, ix)), min(ny - 1, max(0, iy)))
+
+
+# ---------------------------------------------------------------------------
+# Tile formation strategies (JoinConfig.partitioner).
+# ---------------------------------------------------------------------------
+
+#: declustering curves accepted by :class:`TreePartitioner`.
+DECLUSTER_CURVES = ("hilbert", "zorder")
+
+#: curve resolution for task declustering: 2**10 cells per axis is far
+#: finer than any task count the partitioner produces.
+_DECLUSTER_ORDER = 10
+
+
+@dataclass
+class PartitionPlan:
+    """One join's task decomposition, produced by a :class:`Partitioner`.
+
+    ``entries`` is ``[(key, idx_a, idx_b), ...]`` in *dispatch* order —
+    ascending ``key`` order for the grid strategy, space-filling-curve
+    order for the tree strategy (declustering); the executor always
+    folds outcomes back in ascending ``key`` order, so dispatch order
+    never affects results.  Grid plans include empty tiles (their
+    :class:`PartitionStats` shells appear with zero counts, as the
+    serial partitioned join reports them); tree plans contain only
+    non-empty tasks.
+
+    ``space``/``grid`` carry the reference-tile de-duplication frame of
+    the grid strategy.  Both are ``None`` for tree plans: leaf-overlap
+    tasks partition the candidate-pair space disjointly, so every pair a
+    task's local join emits is owned by that task.
+    """
+
+    partitioner: str
+    space: Optional[Rect]
+    grid: Optional[Tuple[int, int]]
+    entries: List[Tuple[Tuple[int, int], np.ndarray, np.ndarray]]
+
+    @property
+    def space_tuple(self) -> Optional[Tuple[float, float, float, float]]:
+        if self.space is None:
+            return None
+        return (
+            self.space.xmin, self.space.ymin,
+            self.space.xmax, self.space.ymax,
+        )
+
+    def partition_shells(self) -> List[PartitionStats]:
+        """Zero-count :class:`PartitionStats` per entry, in key order."""
+        return [
+            PartitionStats(tile=key, objects_a=len(idx_a),
+                           objects_b=len(idx_b))
+            for key, idx_a, idx_b in sorted(
+                self.entries, key=lambda entry: entry[0]
+            )
+        ]
+
+
+class Partitioner(ABC):
+    """Strategy turning two relations into per-task candidate index sets."""
+
+    #: strategy name as used by ``JoinConfig.partitioner`` and the CLI.
+    name: ClassVar[str] = "?"
+
+    @abstractmethod
+    def plan(
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        grid: Tuple[int, int],
+    ) -> PartitionPlan:
+        """Decompose the join (``grid`` is the grid strategy's shape)."""
+
+
+class GridPartitioner(Partitioner):
+    """Uniform-grid tiles with reference-tile de-duplication (PBSM-style).
+
+    A thin strategy wrapper over :func:`plan_tile_indices` — the single
+    source of truth for the grid decomposition — so the executor's
+    historical behaviour is byte-for-byte unchanged.
+    """
+
+    name = "grid"
+
+    def plan(
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        grid: Tuple[int, int],
+    ) -> PartitionPlan:
+        space, entries = plan_tile_indices(relation_a, relation_b, grid)
+        return PartitionPlan(
+            partitioner=self.name, space=space, grid=grid, entries=entries
+        )
+
+
+class TreePartitioner(Partitioner):
+    """Tree-guided tile formation: leaf-overlap tasks from an R*-tree join.
+
+    Bulk-loads (or reuses) an R*-tree over each relation's MBR column
+    (items are row indices) and runs the restricted synchronized
+    traversal of [BKS 93a] — descend the taller tree, prune node pairs
+    with disjoint MBRs — but stops descending once a node pair's
+    candidate volume ``|A'| * |B'|`` falls under a work budget derived
+    from ``target_tasks`` (or both nodes are leaves), emitting the pair
+    as one task over the two subtrees' row-index sets.
+
+    Disjointness: every object lives in exactly one leaf of its tree,
+    and each traversal step partitions a node pair's candidate space
+    among child pairs (dropping only provably-disjoint combinations),
+    so every candidate pair lands in **exactly one** task — no
+    replication, no reference-tile de-duplication, and the task count
+    is a deterministic function of the relations alone (never of the
+    worker count), which keeps results identical across worker counts.
+
+    Dispatch order is declustered along a space-filling curve
+    (``decluster='hilbert'`` default, or ``'zorder'``) over the task
+    regions' centers, so neighbouring hot tasks spread across workers
+    under static dispatch instead of queueing consecutively.
+    """
+
+    name = "rtree"
+
+    def __init__(
+        self,
+        target_tasks: int = 64,
+        max_entries: int = 8,
+        decluster: str = "hilbert",
+    ):
+        if target_tasks < 1:
+            raise ValueError(
+                f"target_tasks must be >= 1, got {target_tasks}"
+            )
+        if decluster not in DECLUSTER_CURVES:
+            raise ValueError(
+                f"unknown declustering curve {decluster!r}; "
+                f"expected one of {DECLUSTER_CURVES}"
+            )
+        self.target_tasks = target_tasks
+        self.max_entries = max_entries
+        self.decluster = decluster
+
+    def plan(
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        grid: Tuple[int, int],
+    ) -> PartitionPlan:
+        del grid  # the grid shape belongs to the grid strategy
+        n_a, n_b = len(relation_a), len(relation_b)
+        if n_a == 0 or n_b == 0:
+            return PartitionPlan(
+                partitioner=self.name, space=None, grid=None, entries=[]
+            )
+        tree_a = relation_a.columnar().partition_tree(self.max_entries)
+        tree_b = relation_b.columnar().partition_tree(self.max_entries)
+        budget = max(1, -(-(n_a * n_b) // self.target_tasks))
+        rows_cache: Dict[int, np.ndarray] = {}
+        tasks: List[Tuple[Rect, np.ndarray, np.ndarray]] = []
+        stack = [(tree_a.root, tree_b.root)]
+        while stack:
+            node_a, node_b = stack.pop()
+            inter = node_a.mbr().intersection(node_b.mbr())
+            if inter is None:
+                continue
+            rows_a = _subtree_rows(node_a, rows_cache)
+            rows_b = _subtree_rows(node_b, rows_cache)
+            if (node_a.is_leaf and node_b.is_leaf) or (
+                rows_a.size * rows_b.size <= budget
+            ):
+                tasks.append((inter, rows_a, rows_b))
+                continue
+            # Descend the taller tree (leaves pinned), reverse order so
+            # the LIFO stack visits children in tree order — the task
+            # (key) order stays a deterministic traversal invariant.
+            if not node_a.is_leaf and (
+                node_b.is_leaf or node_a.level >= node_b.level
+            ):
+                for child in reversed(node_a.children):
+                    if child.mbr().intersects(node_b.mbr()):
+                        stack.append((child, node_b))
+            else:
+                for child in reversed(node_b.children):
+                    if child.mbr().intersects(node_a.mbr()):
+                        stack.append((node_a, child))
+        entries = [
+            ((ordinal, -1), rows_a, rows_b)
+            for ordinal, (_, rows_a, rows_b) in enumerate(tasks)
+        ]
+        self._decluster(entries, [inter for inter, _, _ in tasks])
+        return PartitionPlan(
+            partitioner=self.name, space=None, grid=None, entries=entries
+        )
+
+    def _decluster(self, entries, regions: List[Rect]) -> None:
+        """Order dispatch along the space-filling curve of task centers."""
+        if len(entries) < 2:
+            return
+        from ..index.hilbert import HilbertMapper, hilbert_d_from_xy
+        from ..index.zorder import interleave_bits
+
+        mapper = HilbertMapper(
+            Rect.union_all(regions), order=_DECLUSTER_ORDER
+        )
+        curve = (
+            hilbert_d_from_xy
+            if self.decluster == "hilbert"
+            else lambda order, x, y: interleave_bits(x, y, order)
+        )
+
+        def curve_index(region: Rect) -> int:
+            x, y = mapper.cell_of(region.center)
+            return curve(_DECLUSTER_ORDER, x, y)
+
+        order = sorted(
+            range(len(entries)),
+            key=lambda i: (curve_index(regions[i]), i),
+        )
+        entries[:] = [entries[i] for i in order]
+
+
+def _subtree_rows(node, cache: Dict[int, np.ndarray]) -> np.ndarray:
+    """Ascending row indices stored under ``node`` (cached per node).
+
+    Ascending order keeps each task's objects in relation order, exactly
+    as the grid partitioner's index arrays do.
+    """
+    rows = cache.get(id(node))
+    if rows is None:
+        out: List[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                out.extend(entry.item for entry in current.entries)
+            else:
+                stack.extend(current.children)
+        out.sort()
+        rows = np.asarray(out, dtype=np.intp)
+        cache[id(node)] = rows
+    return rows
+
+
+def create_partitioner(name: str) -> Partitioner:
+    """Instantiate the strategy selected by ``JoinConfig.partitioner``."""
+    for cls in (GridPartitioner, TreePartitioner):
+        if name == cls.name:
+            return cls()
+    raise ValueError(
+        f"unknown partitioner {name!r}; expected one of {PARTITIONERS}"
+    )

@@ -23,8 +23,18 @@ session-oriented: the setup should be paid once and amortised.
   later join of the same content ships **zero redundant bytes** — the
   tile tasks simply reference the cached segment.  A relation whose
   object list changed gets a fresh fingerprint (and so a fresh
-  segment); stale segments stay cached until :meth:`evict` or
-  :meth:`close`.
+  segment); the stale segment stays cached until evicted.
+
+The cache is **byte-bounded LRU** when ``max_cache_bytes`` is set:
+whenever the cached bytes exceed the bound, least-recently-joined
+segments are unlinked first (``segment_cache_evictions`` counts them)
+until the cache fits.  Unbounded sessions (the default) keep the old
+keep-everything behaviour plus manual :meth:`evict`.  Segments of the
+join *currently running* are never evicted: the executor takes a
+:class:`SegmentLease` over both relations, which pins their
+fingerprints until the join's outcomes are merged — without the pin,
+shipping a large second relation could unlink the first relation's
+segment while tile tasks still reference it.
 
 Lifecycle is explicit: use the session as a context manager (or call
 :meth:`close`), after which the pool is shut down and every cached
@@ -55,9 +65,10 @@ latency and the static vs stealing schedulers on a skewed grid
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datasets.relations import SpatialRelation
 from .join import JoinConfig
@@ -67,6 +78,56 @@ from .parallel_exec import (
     _pool_context,
     parallel_partitioned_join,
 )
+
+
+class SegmentLease:
+    """Pins one join's shared segments in the session cache.
+
+    Acquiring the lease resolves (or creates) the segment of every
+    relation and marks its fingerprint as *leased*: LRU eviction skips
+    leased fingerprints, so a bounded cache can never unlink a segment
+    the in-flight join's tile tasks still reference.  :meth:`release`
+    unpins and then re-applies the byte bound, so the post-join
+    invariant ``cached_segment_bytes <= max_cache_bytes`` holds (unless
+    the just-joined segments alone exceed the bound, which no eviction
+    policy could fix).
+    """
+
+    def __init__(self, session: "JoinSession",
+                 relations: Sequence[SpatialRelation]):
+        self._session = session
+        self._fingerprints: List[str] = []
+        #: the relations' segments, in ``relations`` order.
+        self.segments: List[SharedRelationSegment] = []
+        #: per segment: True when served from the cache (no new bytes).
+        self.reused: List[bool] = []
+        try:
+            for relation in relations:
+                fingerprint = relation.columnar().fingerprint
+                segment, reused = session._acquire(relation, fingerprint)
+                session._leased[fingerprint] = (
+                    session._leased.get(fingerprint, 0) + 1
+                )
+                self._fingerprints.append(fingerprint)
+                self.segments.append(segment)
+                self.reused.append(reused)
+            session._evict_to_bound()
+        except BaseException:
+            self.release()
+            raise
+
+    def release(self) -> None:
+        """Unpin the leased segments and re-apply the cache bound."""
+        fingerprints, self._fingerprints = self._fingerprints, []
+        leased = self._session._leased
+        for fingerprint in fingerprints:
+            count = leased.get(fingerprint, 0) - 1
+            if count <= 0:
+                leased.pop(fingerprint, None)
+            else:
+                leased[fingerprint] = count
+        if fingerprints and not self._session.closed:
+            self._session._evict_to_bound()
 
 
 class JoinSession:
@@ -80,6 +141,7 @@ class JoinSession:
         self,
         config: Optional[JoinConfig] = None,
         workers: Optional[int] = None,
+        max_cache_bytes: Optional[int] = None,
     ):
         config = config or JoinConfig()
         if workers is not None:
@@ -88,15 +150,27 @@ class JoinSession:
             # A session's default config must not point at another
             # session (or itself) — joins run inside *this* one.
             config = replace(config, session=None)
+        if max_cache_bytes is not None and max_cache_bytes < 0:
+            raise ValueError(
+                f"max_cache_bytes must be >= 0, got {max_cache_bytes}"
+            )
         self.config = config
+        #: byte bound of the segment cache (None = unbounded).
+        self.max_cache_bytes = max_cache_bytes
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
-        self._segments: Dict[str, SharedRelationSegment] = {}
+        #: fingerprint -> segment, least-recently-joined first.
+        self._segments: "OrderedDict[str, SharedRelationSegment]" = (
+            OrderedDict()
+        )
+        #: fingerprints pinned by in-flight joins (lease reference counts).
+        self._leased: Dict[str, int] = {}
         self._closed = False
         #: telemetry, cumulative over the session's lifetime.
         self.joins_run = 0
         self.segment_cache_hits = 0
         self.segment_cache_misses = 0
+        self.segment_cache_evictions = 0
         self.pools_created = 0
 
     # -- lifecycle ----------------------------------------------------------
@@ -116,7 +190,8 @@ class JoinSession:
         self._pool_workers = 0
         if pool is not None:
             pool.shutdown(wait=True)
-        segments, self._segments = self._segments, {}
+        segments, self._segments = self._segments, OrderedDict()
+        self._leased = {}
         for segment in segments.values():
             segment.close()
 
@@ -187,11 +262,20 @@ class JoinSession:
         return self._pool
 
     def _discard_pool(self) -> None:
-        """Drop the current pool so the next join forks a fresh one."""
+        """Drop the current pool so the next join forks a fresh one.
+
+        Shuts down with ``wait=True`` (cancelling still-queued tasks):
+        a fire-and-forget ``wait=False`` returned while old workers
+        could still be mapping shared segments, so a rebuild (or
+        :meth:`close`) racing an in-flight future could unlink a
+        segment under a live mapping — spurious ``FileNotFoundError``
+        / ``BufferError`` on teardown.  Waiting drains the workers
+        before any segment lifecycle decision can follow.
+        """
         pool, self._pool = self._pool, None
         self._pool_workers = 0
         if pool is not None:
-            pool.shutdown(wait=False)
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def segment_for(
         self, relation: SpatialRelation
@@ -201,18 +285,66 @@ class JoinSession:
         Returns ``(segment, reused)``: ``reused`` is False exactly when
         this call copied the relation's ring columns into a fresh
         segment.  The segment's lifecycle belongs to the session — do
-        not close it; it is unlinked by :meth:`evict` or :meth:`close`.
+        not close it; it is unlinked by LRU eviction, :meth:`evict` or
+        :meth:`close`.  (The executor uses :meth:`lease_segments`
+        instead, which additionally pins the segments for the join's
+        duration.)
         """
         self._ensure_open()
         fingerprint = relation.columnar().fingerprint
+        segment, reused = self._acquire(relation, fingerprint)
+        self._evict_to_bound(protect=frozenset((fingerprint,)))
+        return segment, reused
+
+    def lease_segments(
+        self, relations: Sequence[SpatialRelation]
+    ) -> SegmentLease:
+        """Acquire (and pin) the segments of one join's relations.
+
+        The returned :class:`SegmentLease` keeps the fingerprints safe
+        from LRU eviction until :meth:`SegmentLease.release` — call it
+        in a ``finally`` once the join's outcomes are merged.
+        """
+        self._ensure_open()
+        return SegmentLease(self, relations)
+
+    def _acquire(
+        self, relation: SpatialRelation, fingerprint: str
+    ) -> Tuple[SharedRelationSegment, bool]:
+        """Cache lookup/insert without applying the byte bound."""
         segment = self._segments.get(fingerprint)
         if segment is not None:
+            self._segments.move_to_end(fingerprint)
             self.segment_cache_hits += 1
             return segment, True
         segment = SharedRelationSegment(relation)
         self._segments[fingerprint] = segment
         self.segment_cache_misses += 1
         return segment, False
+
+    def _evict_to_bound(self, protect: frozenset = frozenset()) -> None:
+        """Unlink least-recently-joined segments until the cache fits.
+
+        Leased (in-flight) and explicitly protected fingerprints are
+        never victims; if only those remain, the cache is allowed to
+        exceed the bound until the leases release.
+        """
+        if self.max_cache_bytes is None:
+            return
+        while self.cached_segment_bytes > self.max_cache_bytes:
+            victim = next(
+                (
+                    fingerprint
+                    for fingerprint in self._segments
+                    if fingerprint not in protect
+                    and fingerprint not in self._leased
+                ),
+                None,
+            )
+            if victim is None:
+                return
+            self._segments.pop(victim).close()
+            self.segment_cache_evictions += 1
 
     def evict(self, relation: SpatialRelation) -> bool:
         """Unlink the cached segment of this relation's current content.

@@ -133,6 +133,7 @@ class ColumnarRelation:
         self._rings: Optional[RingColumns] = None
         self._fingerprint: Optional[str] = None
         self._approx: Dict[str, BatchApproxArrays] = {}
+        self._partition_trees: Dict[int, object] = {}
         #: packing events per approximation kind; stays at 1 per kind
         #: no matter how many joins read the store (regression-tested).
         self.pack_counts: Dict[str, int] = {}
@@ -177,6 +178,35 @@ class ColumnarRelation:
                 digest.update(np.ascontiguousarray(column).tobytes())
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def partition_tree(self, max_entries: int = 8):
+        """A bulk-loaded R*-tree over the MBR column, items = row indices.
+
+        The tree-guided partitioner
+        (:class:`repro.core.partition.TreePartitioner`) traverses two of
+        these to form leaf-overlap tasks; because the tree stores *row
+        indices* into this store's columns, tasks remain plain index
+        arrays exactly like the grid partitioner's.  Built once per
+        (store, capacity) — repeated joins of the same relation content
+        (e.g. inside a :class:`repro.core.session.JoinSession`) reuse
+        the tree just like they reuse the shipped ring columns.
+        """
+        tree = self._partition_trees.get(max_entries)
+        if tree is None:
+            from ..geometry import Rect
+            from ..index.rstar import RStarTree  # lazy: avoid an import cycle
+
+            tree = RStarTree.bulk_load(
+                [
+                    (Rect(xmin, ymin, xmax, ymax), row)
+                    for row, (xmin, ymin, xmax, ymax) in enumerate(
+                        self.mbrs.tolist()
+                    )
+                ],
+                max_entries=max_entries,
+            )
+            self._partition_trees[max_entries] = tree
+        return tree
 
     def approx(self, kind: str) -> BatchApproxArrays:
         """The fully-packed approximation columns of ``kind``.

@@ -142,6 +142,35 @@ Parallel wire format — shared columns instead of pickled slices
     ``columnar=False`` (CLI ``--no-columnar``) keeps the legacy
     ``(oid, polygon)`` pickled-slice tasks.
 
+Tile formation — uniform grid vs tree-guided partitioning
+    What a "tile" *is* is a strategy of its own
+    (``JoinConfig(partitioner=...)``, CLI ``join --partitioner``),
+    implemented by the :class:`~repro.core.partition.Partitioner`
+    hierarchy.  ``grid`` (default) cuts space into the uniform
+    ``grid=(nx, ny)`` tiles described above: simple, predictable, but
+    a cluster denser than one tile ships as a single straggler task,
+    and objects straddling tile borders are re-tested in every tile
+    they touch (the ``owning_tile`` rule keeps the output exact).
+    ``rtree`` instead bulk-loads (or reuses, via
+    ``relation.columnar().partition_tree()``) an R*-tree over each
+    relation's MBR column and runs the paper's synchronized traversal
+    down to a candidate-volume budget: each emitted task is one
+    overlapping node pair — two row-index sets — so the tasks
+    partition the candidate-pair space **disjointly** (no replicated
+    exact work, no ownership filter), and a hot cluster splits into
+    as many tasks as its volume warrants.  Hilbert declustering (§6
+    outlook; ``TreePartitioner(decluster="zorder")`` for the z-order
+    curve) orders tasks so spatially adjacent work lands on different
+    workers.  Both partitioners emit the same
+    ``TileTask``/``ColumnarTileTask`` wire format, so schedulers, wire
+    formats, and sessions compose with either; the task plan depends
+    only on the relations — never the worker count — keeping results
+    byte-identical to the serial join
+    (``tests/test_tree_partitioner_equivalence.py`` is the
+    differential suite, and ``benchmarks/bench_tree_partition.py``
+    shows the modeled-makespan win on a hot-tile workload, report in
+    ``benchmarks/reports/tree_partition.txt``).
+
 Tile scheduling — static order vs work stealing
     How tiles reach the pool is a strategy of its own
     (``JoinConfig(scheduler=...)``, CLI ``join --scheduler``).
@@ -173,9 +202,17 @@ Join sessions — amortising setup across repeated joins
     whenever the same relations are joined more than once — under
     different predicates, engines, grids, or partners; create one-shot
     joins only for one-off queries.  The cache holds segments until
-    ``evict()``/``close()``; the session is a context manager and
-    leaves ``live_shared_segments()`` empty on close, the same
-    leak-free guarantee as the one-shot path.
+    ``evict()``/``close()``, or — for long-lived serving sessions
+    joining ever-changing relations —
+    ``JoinSession(max_cache_bytes=N)`` bounds it: segments of the
+    least recently *joined* relations are evicted (and unlinked)
+    first once the byte bound is exceeded, the running join's own
+    segments are leased and never evicted mid-flight, and
+    ``segment_cache_evictions`` counts what the bound cost
+    (``tests/test_session_cache.py`` pins the lifecycle).  Either
+    way the session is a context manager and leaves
+    ``live_shared_segments()`` empty on close, the same leak-free
+    guarantee as the one-shot path.
     ``benchmarks/bench_session.py`` measures first-join vs warm-join
     latency and the scheduler tradeoff on a skewed grid
     (``benchmarks/reports/session.txt``).
@@ -184,6 +221,7 @@ Choosing the parallel executor from the CLI::
 
     python -m repro join a.wkt b.wkt --engine batched --workers 4 --grid 4 4
     python -m repro join a.wkt b.wkt --workers 4 --scheduler stealing
+    python -m repro join a.wkt b.wkt --workers 4 --partitioner rtree
     python -m repro join a.wkt b.wkt --workers 4 --no-columnar  # legacy wire
     python -m repro join-batch a.wkt b.wkt --repeat 5 --workers 4  # session
 """

@@ -206,18 +206,35 @@ def minimum_enclosing_ellipse(
 
 
 def _inflate_to_cover(ell: Ellipse, pts: np.ndarray) -> Ellipse:
-    """Scale the ellipse outward until it contains every point."""
+    """Scale the ellipse outward until it contains every point.
+
+    Containment is judged with the same scalar expression
+    :meth:`Ellipse.contains_point` evaluates: on a sliver ellipse the
+    matrix entries reach ``1/b^2`` and the quadratic form cancels down
+    from terms that large, so an analytically exact rescale can still
+    leave a point evaluating outside by far more than the containment
+    tolerance.  Rescaling until the *evaluated* maximum drops to 1
+    makes the conservative guarantee hold in the arithmetic the
+    predicate actually performs (a couple of iterations at most).
+    """
     center = np.array(ell.center)
     diffs = pts - center
-    values = np.einsum("ij,jk,ik->i", diffs, ell.matrix, diffs)
-    scale = float(np.nanmax(values, initial=1.0))
-    if not math.isfinite(scale):
-        # Pathological aspect ratio: fall back to an enclosing circle.
-        radius = float(np.sqrt((diffs * diffs).sum(axis=1)).max()) or 1e-12
-        return Ellipse(ell.center, np.eye(2) / (radius * radius * (1 + 1e-9)))
-    if scale > 1.0:
-        return Ellipse(ell.center, ell.matrix / (scale * (1 + 1e-12)))
-    return ell
+    matrix = ell.matrix
+    for _ in range(64):
+        values = [float(d @ matrix @ d) for d in diffs]
+        scale = max((v for v in values if not math.isnan(v)), default=1.0)
+        if not math.isfinite(scale):
+            # Pathological aspect ratio: fall back to an enclosing circle.
+            radius = float(np.sqrt((diffs * diffs).sum(axis=1)).max()) or 1e-12
+            return Ellipse(
+                ell.center, np.eye(2) / (radius * radius * (1 + 1e-9))
+            )
+        if scale <= 1.0:
+            break
+        matrix = matrix / (scale * (1 + 1e-12))
+    if matrix is ell.matrix:
+        return ell
+    return Ellipse(ell.center, matrix)
 
 
 def _ellipse_from_segment(a: Coord, b: Coord) -> Ellipse:

@@ -4,6 +4,7 @@ from .join import JoinStats, nested_loops_mbr_join, rstar_join
 from .knn import (
     knn_query,
     knn_query_exact,
+    validate_k,
     nearest_query,
     point_rect_distance,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "JoinStats",
     "knn_query",
     "knn_query_exact",
+    "validate_k",
     "nearest_query",
     "point_rect_distance",
     "LRUBuffer",

@@ -13,6 +13,15 @@ Unequal tree heights are handled by fixing the shallower node while
 descending the taller tree.  The join yields candidate pairs lazily so
 subsequent filter steps can consume them without materialising the
 candidate set (paper §2.4).
+
+The traversal is an explicit-stack iteration, not recursion: the old
+``yield from _join_nodes`` chain held one generator frame per tree
+level, so joining deep trees (low-capacity nodes, or degenerate vines)
+hit Python's recursion limit and every yielded pair paid O(depth)
+delegation cost.  The stack holds lazy child-pair iterators, so page
+visits and MBR-test counters fire in exactly the order the recursion
+produced them, while each pair is yielded from the top-level frame in
+O(1) (``tests/test_rstar_join.py`` pins both properties).
 """
 
 from __future__ import annotations
@@ -53,24 +62,20 @@ def rstar_join(
     yield from _join_nodes(root_a, root_b, counter_a, counter_b, stats)
 
 
-def _join_nodes(
+def _child_pairs(
     node_a: Node,
     node_b: Node,
+    inter: Rect,
     counter_a: Optional[AccessCounter],
     counter_b: Optional[AccessCounter],
     stats: JoinStats,
-) -> Iterator[Tuple[Any, Any]]:
-    stats.node_pairs += 1
-    inter = node_a.mbr().intersection(node_b.mbr())
-    if inter is None:
-        return
+) -> Iterator[Tuple[Node, Node]]:
+    """Lazily yield the node pairs the recursion used to descend into.
 
-    if node_a.is_leaf and node_b.is_leaf:
-        for ea, eb in _matching_pairs(node_a, node_b, inter, stats):
-            stats.output_pairs += 1
-            yield (ea.item, eb.item)
-        return
-
+    One side is expanded per step (the taller tree, leaves pinned), and
+    the MBR-test counter and page-visit hooks fire exactly when a child
+    pair is pulled — the same instant the recursive loop reached it.
+    """
     if not node_a.is_leaf and (node_b.is_leaf or node_a.level >= node_b.level):
         # Descend tree A.
         for child in _restricted_members(node_a, inter):
@@ -78,16 +83,54 @@ def _join_nodes(
             if child.mbr().intersects(node_b.mbr()):
                 if counter_a is not None:
                     counter_a.visit(child.page_id)
-                yield from _join_nodes(child, node_b, counter_a, counter_b, stats)
-        return
+                yield (child, node_b)
+    else:
+        # Descend tree B.
+        for child in _restricted_members(node_b, inter):
+            stats.mbr_tests += 1
+            if child.mbr().intersects(node_a.mbr()):
+                if counter_b is not None:
+                    counter_b.visit(child.page_id)
+                yield (node_a, child)
 
-    # Descend tree B.
-    for child in _restricted_members(node_b, inter):
-        stats.mbr_tests += 1
-        if child.mbr().intersects(node_a.mbr()):
-            if counter_b is not None:
-                counter_b.visit(child.page_id)
-            yield from _join_nodes(node_a, child, counter_a, counter_b, stats)
+
+def _join_nodes(
+    node_a: Node,
+    node_b: Node,
+    counter_a: Optional[AccessCounter],
+    counter_b: Optional[AccessCounter],
+    stats: JoinStats,
+) -> Iterator[Tuple[Any, Any]]:
+    """Depth-first synchronized traversal with an explicit frame stack.
+
+    Each stack entry is the lazy child-pair iterator of one node pair;
+    entering a pair bumps ``node_pairs``, leaf pairs emit through the
+    plane sweep directly from this frame.  Identical visit order, counter
+    sequence, and output to the former recursive formulation, but with
+    O(1) delegation per yielded pair and no recursion-depth ceiling.
+    """
+    stack: List[Iterator[Tuple[Node, Node]]] = [iter(((node_a, node_b),))]
+    while stack:
+        descended = False
+        for pair_a, pair_b in stack[-1]:
+            stats.node_pairs += 1
+            inter = pair_a.mbr().intersection(pair_b.mbr())
+            if inter is None:
+                continue
+            if pair_a.is_leaf and pair_b.is_leaf:
+                for ea, eb in _matching_pairs(pair_a, pair_b, inter, stats):
+                    stats.output_pairs += 1
+                    yield (ea.item, eb.item)
+                continue
+            stack.append(
+                _child_pairs(
+                    pair_a, pair_b, inter, counter_a, counter_b, stats
+                )
+            )
+            descended = True
+            break
+        if not descended:
+            stack.pop()
 
 
 def _restricted_members(node: Node, inter: Rect) -> List[Any]:

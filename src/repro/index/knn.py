@@ -30,6 +30,22 @@ def point_rect_distance(p: Coord, rect: Rect) -> float:
     return (dx * dx + dy * dy) ** 0.5
 
 
+def validate_k(k: int) -> int:
+    """Boundary validation of a neighbour count.
+
+    Raises ``ValueError`` naming the offending value for ``k < 1`` or a
+    non-integer ``k`` (``bool`` included — ``True`` is a valid ``int``
+    but never a deliberate neighbour count), so callers — including the
+    CLI ``knn`` command — fail at the argument boundary instead of
+    obscurely downstream.
+    """
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise ValueError(f"k must be an integer, got {k!r}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return k
+
+
 def knn_query(
     tree: RStarTree,
     point: Coord,
@@ -42,8 +58,7 @@ def knn_query(
     Best-first search: a single priority queue over nodes and entries
     guarantees no node is opened unless it could still contribute.
     """
-    if k < 1:
-        raise ValueError("k must be >= 1")
+    k = validate_k(k)
     if tree.size == 0:
         return []
     # tie-break heap entries by an insertion counter: items may not be
@@ -111,8 +126,7 @@ def knn_query_exact(
     the multi-step principle (cheap bound first, exact geometry last)
     applied to nearest-neighbour search.
     """
-    if k < 1:
-        raise ValueError("k must be >= 1")
+    k = validate_k(k)
     if tree.size == 0:
         return []
     tiebreak = itertools.count()

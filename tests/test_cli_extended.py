@@ -57,6 +57,22 @@ class TestDistanceCommand:
         with pytest.raises(SystemExit):
             main(["distance", path_a, path_b])
 
+    def test_negative_epsilon_rejected(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(
+            ["distance", path_a, path_b, "--epsilon", "-0.1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "epsilon" in err
+
+    def test_non_finite_epsilon_rejected(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(
+            ["distance", path_a, path_b, "--epsilon", "nan"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "finite" in err
+
 
 class TestKnnCommand:
     def test_knn_runs(self, wkt_pair, capsys):
@@ -75,6 +91,20 @@ class TestKnnCommand:
             if "mindist=" in line
         ]
         assert dists == sorted(dists)
+
+    @pytest.mark.parametrize("k", ("0", "-3"))
+    def test_k_below_one_rejected(self, wkt_pair, capsys, k):
+        path_a, _ = wkt_pair
+        assert main(
+            ["knn", path_a, "--point", "0.5", "0.5", "--k", k]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "k must be" in err
+
+    def test_non_numeric_k_rejected(self, wkt_pair):
+        path_a, _ = wkt_pair
+        with pytest.raises(SystemExit):
+            main(["knn", path_a, "--point", "0.5", "0.5", "--k", "four"])
 
 
 class TestJoinWorkers:
@@ -170,6 +200,45 @@ class TestJoinWorkers:
         out = capsys.readouterr().out
         assert "scheduler stealing" in out
         assert pair_lines(out) == serial
+
+
+class TestJoinPartitioner:
+    def _pair_lines(self, out):
+        return sorted(l for l in out.splitlines() if "\t" in l)
+
+    @pytest.mark.parallel
+    def test_rtree_partitioner_matches_serial(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        main(["join", path_a, path_b, "--exact", "vectorized", "--pairs"])
+        serial = self._pair_lines(capsys.readouterr().out)
+        assert main(
+            ["join", path_a, path_b, "--exact", "vectorized", "--pairs",
+             "--workers", "2", "--partitioner", "rtree"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parallel executor: 2 workers" in out
+        assert "tree-guided tasks (rtree)" in out
+        assert "grid" not in [
+            l for l in out.splitlines() if "parallel executor" in l
+        ][0]
+        assert self._pair_lines(out) == serial
+
+    @pytest.mark.parallel
+    def test_grid_banner_unchanged(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        assert main(
+            ["join", path_a, path_b, "--exact", "vectorized",
+             "--workers", "2", "--grid", "3", "3",
+             "--partitioner", "grid"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tile tasks on a 3x3 grid" in out
+
+    def test_unknown_partitioner_rejected(self, wkt_pair):
+        path_a, path_b = wkt_pair
+        with pytest.raises(SystemExit):
+            main(["join", path_a, path_b, "--workers", "2",
+                  "--partitioner", "voronoi"])
 
 
 class TestJoinBatch:

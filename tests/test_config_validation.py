@@ -152,6 +152,104 @@ def test_scheduler_registry_consistent_with_factory():
         create_scheduler("psychic")
 
 
+def test_unknown_partitioner_names_choices():
+    from repro.core import PARTITIONERS
+
+    with pytest.raises(ValueError) as excinfo:
+        JoinConfig(partitioner="voronoi")
+    message = str(excinfo.value)
+    assert "voronoi" in message
+    for choice in PARTITIONERS:
+        assert choice in message
+
+
+def test_valid_partitioners_accepted():
+    from repro.core import PARTITIONERS
+
+    for partitioner in PARTITIONERS:
+        assert JoinConfig(partitioner=partitioner).partitioner == partitioner
+    assert set(PARTITIONERS) == {"grid", "rtree"}
+
+
+def test_partitioner_registry_consistent_with_factory():
+    """Config choices, CLI choices, and the factory agree."""
+    from repro.core import PARTITIONERS, create_partitioner
+
+    for name in PARTITIONERS:
+        assert create_partitioner(name).name == name
+    with pytest.raises(ValueError, match="voronoi"):
+        create_partitioner("voronoi")
+
+
+class TestEpsilonValidation:
+    """``validate_epsilon`` guards the distance-join boundary."""
+
+    def test_negative_epsilon_rejected(self):
+        from repro.core import validate_epsilon
+
+        with pytest.raises(ValueError) as excinfo:
+            validate_epsilon(-0.5)
+        message = str(excinfo.value)
+        assert "-0.5" in message and "epsilon" in message
+
+    @pytest.mark.parametrize("epsilon", (float("nan"), float("inf"),
+                                         float("-inf")))
+    def test_non_finite_epsilon_rejected(self, epsilon):
+        from repro.core import validate_epsilon
+
+        with pytest.raises(ValueError, match="finite"):
+            validate_epsilon(epsilon)
+
+    def test_valid_epsilon_coerced_to_float(self):
+        from repro.core import validate_epsilon
+
+        assert validate_epsilon(0) == 0.0
+        assert validate_epsilon(0.25) == 0.25
+        assert isinstance(validate_epsilon(1), float)
+
+    def test_join_rejects_negative_epsilon_at_the_boundary(self):
+        from repro.core import within_distance_join
+
+        with pytest.raises(ValueError, match="epsilon"):
+            within_distance_join([], [], epsilon=-1.0)
+
+
+class TestKValidation:
+    """``validate_k`` guards the knn query boundary."""
+
+    @pytest.mark.parametrize("k", (0, -1, -10))
+    def test_k_below_one_rejected(self, k):
+        from repro.index import validate_k
+
+        with pytest.raises(ValueError) as excinfo:
+            validate_k(k)
+        message = str(excinfo.value)
+        assert str(k) in message and "k must be" in message
+
+    @pytest.mark.parametrize("k", (1.5, "4", None, True))
+    def test_non_integer_k_rejected(self, k):
+        from repro.index import validate_k
+
+        with pytest.raises(ValueError, match="integer"):
+            validate_k(k)
+
+    def test_valid_k_passes_through(self):
+        from repro.index import validate_k
+
+        assert validate_k(1) == 1
+        assert validate_k(50) == 50
+
+    @pytest.mark.parametrize("k", (0, -3))
+    def test_queries_reject_bad_k_at_the_boundary(self, k):
+        from repro.index import RStarTree, knn_query, knn_query_exact
+
+        tree = RStarTree()
+        with pytest.raises(ValueError, match="k must be"):
+            knn_query(tree, (0.5, 0.5), k)
+        with pytest.raises(ValueError, match="k must be"):
+            knn_query_exact(tree, (0.5, 0.5), k, [])
+
+
 def test_non_session_session_rejected():
     with pytest.raises(ValueError, match="session"):
         JoinConfig(session=42)

@@ -1,0 +1,166 @@
+"""Session segment-cache lifecycle: LRU bound, lease pinning, pool resize.
+
+Regression coverage for two session bugs:
+
+* the segment cache was unbounded — a relation mutated between joins
+  got a fresh fingerprint while the stale segment stayed cached forever.
+  ``JoinSession(max_cache_bytes=...)`` now evicts least-recently-joined
+  segments first (``segment_cache_evictions`` counts them), and the
+  executor leases (pins) the running join's segments so eviction can
+  never unlink a segment in flight;
+* ``_discard_pool()`` used ``shutdown(wait=False)``, so a pool rebuild
+  (worker-count change) returned while old workers could still be
+  mapping shared segments — racing any subsequent unlink.
+
+The autouse leak fixture in ``conftest.py`` asserts every test below
+leaves ``live_shared_segments()`` empty.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from helpers import random_relation_pair
+from repro.core.join import JoinConfig, SpatialJoinProcessor
+from repro.core.parallel_exec import live_shared_segments
+from repro.core.session import JoinSession
+
+pytestmark = pytest.mark.parallel
+
+
+def _config(workers=1):
+    # vectorized exact method: the degenerate slivers in the generated
+    # relations are out of scope for the TR*-tree processor.
+    return JoinConfig(workers=workers, exact_method="vectorized")
+
+
+def _plain_sorted(rel_a, rel_b):
+    result = SpatialJoinProcessor(_config()).join(rel_a, rel_b)
+    return sorted(result.id_pairs())
+
+
+def _segment_bytes(rel_a, rel_b):
+    """Measure the two relations' shared-segment footprint."""
+    with JoinSession(config=_config()) as session:
+        session.join(rel_a, rel_b)
+        return session.cached_segment_bytes
+
+
+def _mutate(relation):
+    """New object-list identity -> new columnar store -> new fingerprint."""
+    relation.objects = relation.objects[:-1]
+
+
+class TestBoundedLRU:
+    def test_mutate_and_rejoin_loop_holds_the_bound(self):
+        rel_a, rel_b = random_relation_pair(6)
+        bound = _segment_bytes(rel_a, rel_b)
+        with JoinSession(
+            config=_config(), max_cache_bytes=bound
+        ) as session:
+            session.join(rel_a, rel_b)
+            for _ in range(5):
+                _mutate(rel_b)
+                result = session.join(rel_a, rel_b)
+                assert sorted(result.id_pairs()) == _plain_sorted(
+                    rel_a, rel_b
+                )
+                assert session.cached_segment_bytes <= bound
+            assert session.segment_cache_evictions >= 5
+            # Stale rel_b segments were evicted, not accumulated.
+            assert session.cached_relations == 2
+        assert not live_shared_segments()
+
+    def test_evicts_least_recently_joined_first(self):
+        rel_a, rel_b = random_relation_pair(7)
+        rel_c, _ = random_relation_pair(8)
+        rel_c.name = "C"
+        # Room for exactly the two relations of one join.
+        bound = _segment_bytes(rel_a, rel_b) + _segment_bytes(rel_a, rel_c)
+        with JoinSession(
+            config=_config(), max_cache_bytes=bound
+        ) as session:
+            session.join(rel_a, rel_b)   # cache: A, B
+            session.join(rel_a, rel_c)   # A refreshed; C may evict B
+            hits_before = session.segment_cache_hits
+            misses_before = session.segment_cache_misses
+            session.join(rel_a, rel_c)   # both hot: pure hits
+            assert session.segment_cache_hits == hits_before + 2
+            assert session.segment_cache_misses == misses_before
+            if session.segment_cache_evictions:
+                # B (least recently joined) was the victim, never A.
+                misses_before = session.segment_cache_misses
+                session.join(rel_a, rel_b)
+                assert session.segment_cache_misses == misses_before + 1
+
+    def test_lease_pins_in_flight_segments(self):
+        rel_a, rel_b = random_relation_pair(9)
+        # A zero-byte bound can never hold a segment, but the join's
+        # own segments must survive until its outcomes are merged.
+        with JoinSession(
+            config=_config(workers=2), max_cache_bytes=0
+        ) as session:
+            result = session.join(rel_a, rel_b)
+            assert len(result.id_pairs()) == len(set(result.id_pairs()))
+            # After the lease released, the bound re-applied: empty cache.
+            assert session.cached_segment_bytes == 0
+            assert session.cached_relations == 0
+            assert session.segment_cache_evictions == 2
+        assert not live_shared_segments()
+
+    def test_unbounded_session_never_evicts(self):
+        rel_a, rel_b = random_relation_pair(10)
+        with JoinSession(config=_config()) as session:
+            for _ in range(3):
+                _mutate(rel_b)
+                session.join(rel_a, rel_b)
+            assert session.segment_cache_evictions == 0
+            assert session.cached_relations == 4  # A + three B versions
+        assert not live_shared_segments()
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_cache_bytes"):
+            JoinSession(max_cache_bytes=-1)
+
+
+def _touch_then_sleep(path, value):
+    with open(path, "w"):
+        pass
+    time.sleep(0.4)
+    return value
+
+
+class TestPoolResize:
+    def test_resize_waits_for_inflight_futures(self, tmp_path):
+        """``pool()`` rebuilds must drain old workers, not race them.
+
+        With the old ``shutdown(wait=False)`` the resize returned while
+        the submitted task was still sleeping in the old pool, so the
+        future below was not done — and any segment unlink following
+        the resize could race the old worker's live mapping.
+        """
+        started = tmp_path / "started"
+        with JoinSession(config=JoinConfig(workers=2)) as session:
+            future = session.pool(2).submit(
+                _touch_then_sleep, str(started), 42
+            )
+            deadline = time.monotonic() + 10.0
+            while not started.exists():
+                assert time.monotonic() < deadline, "worker never started"
+                time.sleep(0.005)
+            session.pool(4)  # resize: discards and replaces the pool
+            assert future.done()
+            assert future.result() == 42
+
+    def test_resize_mid_session_keeps_joins_correct(self):
+        rel_a, rel_b = random_relation_pair(12)
+        with JoinSession(config=_config(workers=2)) as session:
+            first = session.join(rel_a, rel_b)
+            resized = session.join(rel_a, rel_b, workers=4)
+            assert resized.id_pairs() == first.id_pairs()
+            assert session.pools_created == 2
+            # The resize reused both cached segments: no re-shipping.
+            assert resized.segment_cache_hits == 2
+            assert resized.segment_cache_misses == 0
+        assert not live_shared_segments()
