@@ -3,17 +3,19 @@
 #   make test          - full suite (tier-1 gate; includes slow fuzz tests)
 #   make test-fast     - quick suite: everything except @pytest.mark.slow
 #   make test-parallel - multi-process tile-executor tests (@pytest.mark.parallel)
+#   make serve-smoke   - start the join service, drive one request, shut down
 #   make bench-engine  - streaming-vs-batched engine benchmark, quick scale
 #   make bench-parallel - measured vs LPT-modeled parallel speedup, quick scale
 #   make bench-columnar - columnar wire-format + repack benchmark, quick scale
 #   make bench-refine  - scalar vs batched exact-step benchmark, quick scale
 #   make bench-session - warm-session reuse + scheduler benchmark, quick scale
 #   make bench-tree    - grid vs tree-guided task formation benchmark, quick scale
+#   make bench-service - concurrent join-service benchmark, quick scale
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-parallel bench-engine bench-parallel \
-	bench-columnar bench-refine bench-session bench-tree
+.PHONY: test test-fast test-parallel serve-smoke bench-engine bench-parallel \
+	bench-columnar bench-refine bench-session bench-tree bench-service
 
 test:
 	$(PYTEST) -x -q
@@ -23,6 +25,9 @@ test-fast:
 
 test-parallel:
 	$(PYTEST) -q -m parallel
+
+serve-smoke:
+	PYTHONPATH=src python scripts/serve_smoke.py
 
 bench-engine:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_engine_batched.py
@@ -41,3 +46,6 @@ bench-session:
 
 bench-tree:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_tree_partition.py
+
+bench-service:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_service.py

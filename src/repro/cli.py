@@ -12,6 +12,20 @@ Commands
 ``distance``  — within-distance join of two WKT relations
 ``knn``       — k nearest objects to a point
 ``estimate``  — pre-execution join cost/selectivity estimate ([Gün 93])
+``serve``     — long-lived join service over a pool of sessions
+
+``serve`` starts the concurrent front-end of :mod:`repro.service`: a
+JSON-lines-over-TCP endpoint multiplexing many simultaneous
+join/window/knn requests onto ``--sessions`` persistent
+:class:`~repro.core.session.JoinSession` objects, with a
+fingerprint-keyed result cache, coalescing of identical in-flight
+requests, and a bounded admission queue (429-style rejection when
+``--max-pending`` executions are already in flight).  One request per
+line, e.g.::
+
+    python -m repro serve --port 8765 --sessions 2 --workers 2 &
+    printf '%s\\n' '{"op": "join", "relation_a": "europe.wkt", \
+"relation_b": "b.wkt", "engine": "batched"}' | nc localhost 8765
 
 Example session::
 
@@ -109,6 +123,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     estimate.add_argument("relation_a", help="WKT file (left relation)")
     estimate.add_argument("relation_b", help="WKT file (right relation)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived JSON-over-TCP join service "
+             "(result cache, coalescing, backpressure)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks an ephemeral port, "
+                            "printed on startup)")
+    serve.add_argument("--sessions", type=int, default=2,
+                       help="JoinSession pool size = concurrent "
+                            "executions (default 2)")
+    serve.add_argument("--max-pending", type=int, default=32,
+                       help="bounded admission queue: distinct "
+                            "executions queued or running before "
+                            "requests are rejected 429-style "
+                            "(default 32)")
+    serve.add_argument("--result-cache", type=int, default=256,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       help="per-request timeout in seconds "
+                            "(default: none)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="default worker processes per join "
+                            "(requests may override)")
+    serve.add_argument("--engine", default="streaming",
+                       choices=("streaming", "batched"),
+                       help="default execution engine for requests")
+    serve.add_argument("--grid", nargs=2, type=int, default=(4, 4),
+                       metavar=("NX", "NY"),
+                       help="default partition grid (default 4 4)")
     return parser
 
 
@@ -432,6 +478,46 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import JoinService, run_server
+
+    try:
+        config = JoinConfig(
+            workers=args.workers, engine=args.engine, grid=tuple(args.grid)
+        )
+        service = JoinService(
+            config=config,
+            sessions=args.sessions,
+            max_pending=args.max_pending,
+            result_cache_entries=args.result_cache,
+            request_timeout=args.request_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(server) -> None:
+        print(
+            f"join service listening on {server.host}:{server.port} "
+            f"({args.sessions} sessions, max {args.max_pending} pending, "
+            f"{args.result_cache} cached results)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            run_server(service, args.host, args.port, ready=announce)
+        )
+    except KeyboardInterrupt:
+        # asyncio.run normally converts Ctrl-C into task cancellation,
+        # which run_server absorbs; this only triggers on a second ^C.
+        pass
+    print("join service stopped")
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "info": cmd_info,
@@ -442,6 +528,7 @@ _COMMANDS = {
     "distance": cmd_distance,
     "knn": cmd_knn,
     "estimate": cmd_estimate,
+    "serve": cmd_serve,
 }
 
 

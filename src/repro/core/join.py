@@ -16,6 +16,7 @@ results and statistics; :class:`JoinConfig.engine` selects one.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass, field, replace
 from typing import Iterator, List, Optional, Tuple
@@ -41,6 +42,18 @@ SCHEDULERS = ("static", "stealing")
 #: the joint data space into uniform tiles, 'rtree' forms tasks from
 #: the leaf-overlap pairs of a synchronized R*-tree traversal.
 PARTITIONERS = ("grid", "rtree")
+
+#: :class:`JoinConfig` fields that select *how* a join executes but can
+#: never change what it returns — pairs, order, or statistics.  The
+#: differential suites prove each one result-neutral: worker count and
+#: scheduler (``tests/test_parallel_exec_equivalence.py``,
+#: ``tests/test_session_scheduler_equivalence.py``), the columnar wire
+#: format (``tests/test_columnar.py``), and the session handle (a
+#: resource-lifecycle choice).  :meth:`JoinConfig.canonical_key` strips
+#: exactly these, so two configs that differ only here share one result
+#: fingerprint — the contract the service result cache and request
+#: coalescing (:mod:`repro.service`) are built on.
+EXECUTION_ONLY_FIELDS = ("workers", "scheduler", "columnar", "session")
 
 
 def validate_grid(grid) -> Tuple[int, int]:
@@ -238,6 +251,53 @@ class JoinConfig:
                     "picklable so tiles can be shipped to worker "
                     f"processes, but pickling failed: {exc}"
                 ) from exc
+
+    # -- canonical identity --------------------------------------------------
+
+    def canonical_key(self) -> Tuple:
+        """Hashable key of every result-affecting setting.
+
+        Two configs with equal canonical keys produce byte-identical
+        partitioned-join responses — same pairs, same order, same merged
+        :class:`~repro.core.stats.MultiStepStats` — regardless of how
+        they differ in the :data:`EXECUTION_ONLY_FIELDS` (worker count,
+        scheduler, wire format, session handle).  Everything else is
+        included conservatively: the filter configuration, the exact
+        method (its :class:`OperationCounter` mix is observable in the
+        stats), engine and batch sizes (proven result-identical, but
+        kept in the key so the cache never has to rely on that proof),
+        the partitioner and the grid (both shape the partitioned stats).
+        """
+        f = self.filter
+        return (
+            self.predicate,
+            f.conservative,
+            f.progressive,
+            f.use_false_area_test,
+            f.progressive_first,
+            self.exact_method,
+            self.trstar_max_entries,
+            self.rtree_max_entries,
+            self.restrict_search_space,
+            self.buffer_pages,
+            self.engine,
+            self.batch_size,
+            self.exact_batch,
+            self.partitioner,
+            self.grid,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable digest of :meth:`canonical_key` (cache/coalescing key).
+
+        Combined with the two relations'
+        :attr:`~repro.datasets.columnar.ColumnarRelation.fingerprint`
+        content digests, this identifies a join request completely: the
+        service result cache and request coalescing key on the triple.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(repr(self.canonical_key()).encode("utf-8"))
+        return digest.hexdigest()
 
 
 @dataclass

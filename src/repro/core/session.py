@@ -65,6 +65,7 @@ latency and the static vs stealing schedulers on a skewed grid
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
@@ -102,39 +103,46 @@ class SegmentLease:
         #: per segment: True when served from the cache (no new bytes).
         self.reused: List[bool] = []
         try:
-            for relation in relations:
-                fingerprint = relation.columnar().fingerprint
-                segment, reused = session._acquire(relation, fingerprint)
-                session._leased[fingerprint] = (
-                    session._leased.get(fingerprint, 0) + 1
-                )
-                self._fingerprints.append(fingerprint)
-                self.segments.append(segment)
-                self.reused.append(reused)
-            session._evict_to_bound()
+            with session._lock:
+                for relation in relations:
+                    fingerprint = relation.columnar().fingerprint
+                    segment, reused = session._acquire(relation, fingerprint)
+                    session._leased[fingerprint] = (
+                        session._leased.get(fingerprint, 0) + 1
+                    )
+                    self._fingerprints.append(fingerprint)
+                    self.segments.append(segment)
+                    self.reused.append(reused)
+                session._evict_to_bound()
         except BaseException:
             self.release()
             raise
 
     def release(self) -> None:
         """Unpin the leased segments and re-apply the cache bound."""
-        fingerprints, self._fingerprints = self._fingerprints, []
-        leased = self._session._leased
-        for fingerprint in fingerprints:
-            count = leased.get(fingerprint, 0) - 1
-            if count <= 0:
-                leased.pop(fingerprint, None)
-            else:
-                leased[fingerprint] = count
-        if fingerprints and not self._session.closed:
-            self._session._evict_to_bound()
+        with self._session._lock:
+            fingerprints, self._fingerprints = self._fingerprints, []
+            leased = self._session._leased
+            for fingerprint in fingerprints:
+                count = leased.get(fingerprint, 0) - 1
+                if count <= 0:
+                    leased.pop(fingerprint, None)
+                else:
+                    leased[fingerprint] = count
+            if fingerprints and not self._session.closed:
+                self._session._evict_to_bound()
 
 
 class JoinSession:
     """Long-lived context amortising parallel-join setup across joins.
 
     See the module docstring for the model.  All state lives in the
-    creating process; worker processes stay stateless.
+    creating process; worker processes stay stateless.  Cache, pool and
+    telemetry mutation is guarded by a reentrant lock and :meth:`join`
+    holds it end-to-end, so a session can be handed between threads (the
+    :class:`repro.service.JoinService` executor does) and still runs
+    exactly one join at a time — concurrency comes from a *pool* of
+    sessions, not from sharing one.
     """
 
     def __init__(
@@ -157,6 +165,12 @@ class JoinSession:
         self.config = config
         #: byte bound of the segment cache (None = unbounded).
         self.max_cache_bytes = max_cache_bytes
+        #: serialises joins and cache/pool mutation across threads: a
+        #: session runs **one join at a time** — concurrency comes from
+        #: using several sessions (see :mod:`repro.service`).  Reentrant
+        #: because the executor calls back into :meth:`pool` /
+        #: :meth:`lease_segments` while :meth:`join` holds the lock.
+        self._lock = threading.RLock()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
         #: fingerprint -> segment, least-recently-joined first.
@@ -185,15 +199,16 @@ class JoinSession:
 
     def close(self) -> None:
         """Shut the pool down and unlink every cached segment (idempotent)."""
-        self._closed = True
-        pool, self._pool = self._pool, None
-        self._pool_workers = 0
-        if pool is not None:
-            pool.shutdown(wait=True)
-        segments, self._segments = self._segments, OrderedDict()
-        self._leased = {}
-        for segment in segments.values():
-            segment.close()
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+            self._pool_workers = 0
+            if pool is not None:
+                pool.shutdown(wait=True)
+            segments, self._segments = self._segments, OrderedDict()
+            self._leased = {}
+            for segment in segments.values():
+                segment.close()
 
     @property
     def closed(self) -> bool:
@@ -221,16 +236,22 @@ class JoinSession:
         and ``workers`` override per call.  Identical results to the
         sessionless :func:`~repro.core.parallel_exec.parallel_partitioned_join`
         — only the resource lifecycle differs.
+
+        Thread-safe: the session lock is held for the whole join, so a
+        session handed between threads (the :mod:`repro.service`
+        executor does this) runs one join at a time and its cache/pool
+        state never interleaves mid-join.
         """
-        self._ensure_open()
-        cfg = config or self.config
-        if workers is not None:
-            cfg = replace(cfg, workers=workers)
-        if cfg.session is not None:
-            cfg = replace(cfg, session=None)
-        return parallel_partitioned_join(
-            relation_a, relation_b, grid=grid, config=cfg, session=self
-        )
+        with self._lock:
+            self._ensure_open()
+            cfg = config or self.config
+            if workers is not None:
+                cfg = replace(cfg, workers=workers)
+            if cfg.session is not None:
+                cfg = replace(cfg, session=None)
+            return parallel_partitioned_join(
+                relation_a, relation_b, grid=grid, config=cfg, session=self
+            )
 
     # -- pooled resources ---------------------------------------------------
 
@@ -245,21 +266,22 @@ class JoinSession:
         here; the private broken flag is only probed as an extra
         belt-and-braces check.
         """
-        self._ensure_open()
-        broken = self._pool is not None and getattr(
-            self._pool, "_broken", False
-        )
-        if self._pool is not None and (
-            broken or self._pool_workers != n_workers
-        ):
-            self._discard_pool()
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=n_workers, mp_context=_pool_context()
+        with self._lock:
+            self._ensure_open()
+            broken = self._pool is not None and getattr(
+                self._pool, "_broken", False
             )
-            self._pool_workers = n_workers
-            self.pools_created += 1
-        return self._pool
+            if self._pool is not None and (
+                broken or self._pool_workers != n_workers
+            ):
+                self._discard_pool()
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=n_workers, mp_context=_pool_context()
+                )
+                self._pool_workers = n_workers
+                self.pools_created += 1
+            return self._pool
 
     def _discard_pool(self) -> None:
         """Drop the current pool so the next join forks a fresh one.
@@ -272,8 +294,9 @@ class JoinSession:
         / ``BufferError`` on teardown.  Waiting drains the workers
         before any segment lifecycle decision can follow.
         """
-        pool, self._pool = self._pool, None
-        self._pool_workers = 0
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._pool_workers = 0
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 
@@ -290,11 +313,12 @@ class JoinSession:
         instead, which additionally pins the segments for the join's
         duration.)
         """
-        self._ensure_open()
-        fingerprint = relation.columnar().fingerprint
-        segment, reused = self._acquire(relation, fingerprint)
-        self._evict_to_bound(protect=frozenset((fingerprint,)))
-        return segment, reused
+        with self._lock:
+            self._ensure_open()
+            fingerprint = relation.columnar().fingerprint
+            segment, reused = self._acquire(relation, fingerprint)
+            self._evict_to_bound(protect=frozenset((fingerprint,)))
+            return segment, reused
 
     def lease_segments(
         self, relations: Sequence[SpatialRelation]
@@ -351,15 +375,25 @@ class JoinSession:
 
         Returns True when a segment was cached (and is now gone); use
         it to bound the cache when a relation will not be joined again.
+
+        A fingerprint pinned by an in-flight join's
+        :class:`SegmentLease` is **refused** (returns False): unlinking
+        it would pull shared memory out from under live tile tasks.
+        (An earlier version popped and closed the segment regardless of
+        leases — an explicit evict racing a join could corrupt it.)
+        Call again once the join has finished if the segment should
+        still go.
         """
-        self._ensure_open()
-        segment = self._segments.pop(
-            relation.columnar().fingerprint, None
-        )
-        if segment is None:
-            return False
-        segment.close()
-        return True
+        with self._lock:
+            self._ensure_open()
+            fingerprint = relation.columnar().fingerprint
+            if fingerprint in self._leased:
+                return False
+            segment = self._segments.pop(fingerprint, None)
+            if segment is None:
+                return False
+            segment.close()
+            return True
 
     # -- telemetry ----------------------------------------------------------
 
@@ -374,7 +408,8 @@ class JoinSession:
         return sum(segment.nbytes for segment in self._segments.values())
 
     def _note_join(self) -> None:
-        self.joins_run += 1
+        with self._lock:
+            self.joins_run += 1
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"

@@ -19,14 +19,31 @@ _NUMBER = r"[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?"
 _RING_RE = re.compile(r"\(([^()]*)\)")
 
 
-def polygon_to_wkt(polygon: Polygon, precision: int = 9) -> str:
-    """Serialise one polygon to a ``POLYGON (...)`` string."""
+def polygon_to_wkt(polygon: Polygon, precision: int = 17) -> str:
+    """Serialise one polygon to a ``POLYGON (...)`` string.
+
+    The default ``precision=17`` emits ``repr``-faithful coordinates
+    (Python's shortest round-trip float representation), so parsing the
+    text back yields bit-identical float64 values.  That keeps every
+    content-addressed consumer stable across a disk round-trip — in
+    particular :attr:`repro.datasets.columnar.ColumnarRelation.fingerprint`,
+    which keys the session segment cache and the service result cache;
+    a truncating precision would silently give the reloaded relation a
+    new fingerprint and defeat both caches.  Pass a smaller precision
+    explicitly to trade fidelity for compactness.
+    """
+    if precision >= 17:
+        # repr() is the shortest string that round-trips the exact
+        # float64; float() first in case a numpy scalar sneaks in.
+        def fmt(value: float) -> str:
+            return repr(float(value))
+    else:
+        def fmt(value: float) -> str:
+            return f"{value:.{precision}g}"
 
     def ring_text(ring) -> str:
         pts = list(ring) + [ring[0]]  # WKT closes rings explicitly
-        inner = ", ".join(
-            f"{x:.{precision}g} {y:.{precision}g}" for x, y in pts
-        )
+        inner = ", ".join(f"{fmt(x)} {fmt(y)}" for x, y in pts)
         return f"({inner})"
 
     rings = [ring_text(polygon.shell)]
@@ -54,12 +71,15 @@ def polygon_from_wkt(text: str) -> Polygon:
 
 
 def save_relation(
-    relation: SpatialRelation, path: Union[str, Path], precision: int = 9
+    relation: SpatialRelation, path: Union[str, Path], precision: int = 17
 ) -> None:
     """Write a relation as one WKT polygon per line.
 
     The file starts with a ``# relation: <name>`` comment so round-trips
-    preserve the relation name.
+    preserve the relation name.  With the default precision the
+    round-trip is exact: ``load_relation(path)`` rebuilds bit-identical
+    coordinates, the same ``ColumnarRelation.fingerprint``, and
+    therefore full segment/result-cache hits (see :func:`polygon_to_wkt`).
     """
     path = Path(path)
     with path.open("w") as fh:
@@ -93,16 +113,27 @@ def load_relation(path: Union[str, Path]) -> SpatialRelation:
 def relations_equal(
     rel_a: SpatialRelation, rel_b: SpatialRelation, tol: float = 1e-9
 ) -> bool:
-    """Structural equality of two relations (used by round-trip tests)."""
+    """Structural equality of two relations (used by round-trip tests).
+
+    Compares every ring — shells *and* hole rings — coordinate by
+    coordinate.  (An earlier version only counted holes and compared
+    shell points, so two relations with identical shells but different
+    hole geometry compared equal.)
+    """
     if len(rel_a) != len(rel_b):
         return False
     for obj_a, obj_b in zip(rel_a, rel_b):
         pa, pb = obj_a.polygon, obj_b.polygon
-        if len(pa.shell) != len(pb.shell) or len(pa.holes) != len(pb.holes):
+        if len(pa.holes) != len(pb.holes):
             return False
-        if any(
-            abs(x1 - x2) > tol or abs(y1 - y2) > tol
-            for (x1, y1), (x2, y2) in zip(pa.shell, pb.shell)
-        ):
-            return False
+        rings_a = (pa.shell, *pa.holes)
+        rings_b = (pb.shell, *pb.holes)
+        for ring_a, ring_b in zip(rings_a, rings_b):
+            if len(ring_a) != len(ring_b):
+                return False
+            if any(
+                abs(x1 - x2) > tol or abs(y1 - y2) > tol
+                for (x1, y1), (x2, y2) in zip(ring_a, ring_b)
+            ):
+                return False
     return True

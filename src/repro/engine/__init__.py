@@ -217,6 +217,28 @@ Join sessions — amortising setup across repeated joins
     latency and the scheduler tradeoff on a skewed grid
     (``benchmarks/reports/session.txt``).
 
+The join service — many concurrent clients, few sessions
+    One session serves one caller at a time; the concurrent front-end
+    is :class:`repro.service.JoinService` (package :mod:`repro.service`),
+    an asyncio service that multiplexes any number of in-flight
+    join/window/kNN requests onto a small pool of sessions.  It layers
+    three serving-side mechanisms on top of the session runtime: a
+    fingerprint-keyed **result cache** (both relations' content digests
+    + the canonicalized ``JoinConfig`` — execution-only fields like
+    ``workers``/``scheduler``/``columnar`` are stripped, since the
+    differential suites prove them result-neutral), **request
+    coalescing** (identical in-flight requests share one execution),
+    and **admission control** (a bounded pending queue with 429-style
+    rejection and per-request timeouts that abandon the wait, never
+    the shared execution).  Responses stay byte-identical to serial
+    joins under any concurrency — ``tests/test_service.py`` is the
+    concurrent differential suite.  ``python -m repro serve`` exposes
+    the service as a JSON-lines-over-TCP endpoint
+    (``tests/test_service_server.py`` pins the wire protocol);
+    ``benchmarks/bench_service.py`` measures throughput and latency at
+    1/8/32 concurrent clients, cold vs result-cache-warm
+    (``benchmarks/reports/service.txt``).
+
 Choosing the parallel executor from the CLI::
 
     python -m repro join a.wkt b.wkt --engine batched --workers 4 --grid 4 4
@@ -224,6 +246,7 @@ Choosing the parallel executor from the CLI::
     python -m repro join a.wkt b.wkt --workers 4 --partitioner rtree
     python -m repro join a.wkt b.wkt --workers 4 --no-columnar  # legacy wire
     python -m repro join-batch a.wkt b.wkt --repeat 5 --workers 4  # session
+    python -m repro serve --port 8765 --sessions 2 --workers 2  # service
 """
 
 from .base import (

@@ -61,6 +61,66 @@ class TestWKT:
         with pytest.raises(ValueError, match="bad.wkt:2"):
             load_relation(path)
 
+    def test_default_precision_roundtrips_float64_exactly(self):
+        # Coordinates chosen to need the full 17 significant digits;
+        # the old precision=9 default truncated them, so the reloaded
+        # polygon differed from the saved one in the last ~8 digits.
+        shell = [
+            (0.1 + 1e-12, 0.2 + 2e-13),
+            (1 / 3, 2 / 3),
+            (123456.789012345678, -0.000123456789012345),
+            (1e-300, 1e300),
+        ]
+        again = polygon_from_wkt(polygon_to_wkt(Polygon(shell)))
+        # Polygon normalises ring order/rotation deterministically, so
+        # compare the point sets bit-for-bit (no tolerance).
+        original = Polygon(shell)
+        assert sorted(again.shell) == sorted(original.shell)
+
+    def test_roundtrip_preserves_fingerprint(self, tmp_path):
+        relation = SpatialRelation(
+            "fp", cartographic_polygons(25, 30, seed=5)
+        )
+        fingerprint = relation.columnar().fingerprint
+        path = tmp_path / "fp.wkt"
+        save_relation(relation, path)
+        loaded = load_relation(path)
+        # Bit-identical coordinates -> identical content digest -> the
+        # segment and result caches treat disk round-trips as hits.
+        assert loaded.columnar().fingerprint == fingerprint
+        # And a second round-trip is a fixed point.
+        path2 = tmp_path / "fp2.wkt"
+        save_relation(loaded, path2)
+        assert load_relation(path2).columnar().fingerprint == fingerprint
+
+    def test_explicit_precision_still_truncates(self):
+        poly = Polygon([(0.123456789012345, 0), (1, 0), (1, 1)])
+        text = polygon_to_wkt(poly, precision=6)
+        assert "0.123457" in text
+        assert "0.123456789" not in text
+
+    def test_relations_equal_compares_hole_coordinates(self):
+        shell = [(0, 0), (10, 0), (10, 10), (0, 10)]
+        hole_a = [[(1, 1), (3, 1), (3, 3), (1, 3)]]
+        hole_b = [[(5, 5), (7, 5), (7, 7), (5, 7)]]  # same size, moved
+        rel_a = SpatialRelation("a", [Polygon(shell, holes=hole_a)])
+        rel_b = SpatialRelation("b", [Polygon(shell, holes=hole_b)])
+        # Identical shells and hole *counts*, different hole geometry:
+        # the old comparison never looked at hole coordinates and
+        # reported these equal.
+        assert not relations_equal(rel_a, rel_b)
+        assert relations_equal(
+            rel_a, SpatialRelation("c", [Polygon(shell, holes=hole_a)])
+        )
+
+    def test_relations_equal_compares_hole_vertex_counts(self):
+        shell = [(0, 0), (10, 0), (10, 10), (0, 10)]
+        square_hole = [[(1, 1), (3, 1), (3, 3), (1, 3)]]
+        tri_hole = [[(1, 1), (3, 1), (2, 3)]]
+        rel_a = SpatialRelation("a", [Polygon(shell, holes=square_hole)])
+        rel_b = SpatialRelation("b", [Polygon(shell, holes=tri_hole)])
+        assert not relations_equal(rel_a, rel_b)
+
 
 class TestCLI:
     @pytest.fixture()

@@ -124,6 +124,58 @@ class TestBoundedLRU:
             JoinSession(max_cache_bytes=-1)
 
 
+class TestExplicitEvict:
+    def test_evict_refused_while_leased(self):
+        """``evict()`` must respect lease pins, exactly like the LRU.
+
+        The old implementation popped and closed the segment without
+        consulting ``_leased`` — an explicit evict racing an in-flight
+        join unlinked shared memory its tile tasks were still mapping.
+        The lease below is what a running join holds for its relations.
+        """
+        rel_a, rel_b = random_relation_pair(13)
+        with JoinSession(config=_config()) as session:
+            session.join(rel_a, rel_b)
+            lease = session.lease_segments([rel_a, rel_b])
+            try:
+                assert session.evict(rel_a) is False
+                assert session.evict(rel_b) is False
+                assert session.cached_relations == 2
+            finally:
+                lease.release()
+            # Lease released: the same evicts now succeed.
+            assert session.evict(rel_a) is True
+            assert session.evict(rel_b) is True
+            assert session.evict(rel_a) is False  # already gone
+            assert session.cached_relations == 0
+        assert not live_shared_segments()
+
+    def test_evict_hammered_during_join(self):
+        """Concurrent evicts during a parallel join never corrupt it."""
+        import threading
+
+        rel_a, rel_b = random_relation_pair(14)
+        expected = _plain_sorted(rel_a, rel_b)
+        with JoinSession(config=_config(workers=2)) as session:
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    session.evict(rel_a)
+                    session.evict(rel_b)
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+                for _ in range(3):
+                    result = session.join(rel_a, rel_b)
+                    assert sorted(result.id_pairs()) == expected
+            finally:
+                stop.set()
+                thread.join()
+        assert not live_shared_segments()
+
+
 def _touch_then_sleep(path, value):
     with open(path, "w"):
         pass
