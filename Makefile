@@ -8,6 +8,7 @@
 #   make bench-parallel - measured vs LPT-modeled parallel speedup, quick scale
 #   make bench-columnar - columnar wire-format + repack benchmark, quick scale
 #   make bench-refine  - scalar vs batched exact-step benchmark, quick scale
+#   make bench-kernels - numpy vs compiled kernel throughput, quick scale
 #   make bench-session - warm-session reuse + scheduler benchmark, quick scale
 #   make bench-tree    - grid vs tree-guided task formation benchmark, quick scale
 #   make bench-service - concurrent join-service benchmark, quick scale
@@ -15,7 +16,8 @@
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: test test-fast test-parallel serve-smoke bench-engine bench-parallel \
-	bench-columnar bench-refine bench-session bench-tree bench-service
+	bench-columnar bench-refine bench-kernels bench-session bench-tree \
+	bench-service
 
 test:
 	$(PYTEST) -x -q
@@ -40,6 +42,9 @@ bench-columnar:
 
 bench-refine:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_refine.py
+
+bench-kernels:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_kernels.py
 
 bench-session:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_session.py

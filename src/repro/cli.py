@@ -5,7 +5,8 @@ Commands
 
 ``generate``  — write a synthetic cartographic relation as WKT
 ``info``      — statistics of a WKT relation (Figure 2 style)
-``join``      — multi-step intersection/within join of two WKT relations
+``join``      — multi-step join of two WKT relations
+                (``--predicate intersects|within|distance|knn``)
 ``join-batch``— repeated joins through one persistent JoinSession
 ``query``     — multi-step window or point query over one WKT relation
 ``overlay``   — map-overlay (intersection layer) of two WKT relations
@@ -152,6 +153,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--engine", default="streaming",
                        choices=("streaming", "batched"),
                        help="default execution engine for requests")
+    serve.add_argument("--kernels", default=None,
+                       choices=("auto", "numpy", "numba", "python"),
+                       help="default kernel backend for requests "
+                            "(execution-only; cached results are shared "
+                            "across backends)")
     serve.add_argument("--grid", nargs=2, type=int, default=(4, 4),
                        metavar=("NX", "NY"),
                        help="default partition grid (default 4 4)")
@@ -162,8 +168,28 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
     """The options shared by ``join`` and ``join-batch``."""
     parser.add_argument("relation_a", help="WKT file (left relation)")
     parser.add_argument("relation_b", help="WKT file (right relation)")
-    parser.add_argument("--predicate", choices=("intersects", "within"),
-                        default="intersects")
+    parser.add_argument("--predicate",
+                        choices=("intersects", "within", "distance", "knn"),
+                        default="intersects",
+                        help="join predicate: 'intersects' (default), "
+                             "'within' (a in b), 'distance' (pairs with "
+                             "exact distance <= --epsilon), or 'knn' (each "
+                             "left object's --k nearest right objects)")
+    parser.add_argument("--epsilon", type=float, default=0.0,
+                        help="distance threshold for --predicate distance "
+                             "(data-space units, default 0)")
+    parser.add_argument("--k", type=int, default=1,
+                        help="neighbours per left object for "
+                             "--predicate knn (default 1)")
+    parser.add_argument("--kernels", default=None,
+                        choices=("auto", "numpy", "numba", "python"),
+                        help="kernel backend for the bulk filter/refine hot "
+                             "paths: 'numpy' (vectorised oracle), 'numba' "
+                             "(JIT-compiled, requires numba), 'python' "
+                             "(uncompiled loops, for testing), or 'auto' "
+                             "(numba when importable, else numpy; the "
+                             "default, overridable via REPRO_KERNELS). "
+                             "Results are identical across backends")
     parser.add_argument("--conservative", default="5-C",
                         help="conservative approximation kind or 'none'")
     parser.add_argument("--progressive", default="MER",
@@ -223,6 +249,11 @@ def _join_config(args: argparse.Namespace) -> JoinConfig:
     invalid — including the grid, which is validated here at the CLI
     boundary instead of deep inside the tile planner.
     """
+    # --kernels left unset falls through to the JoinConfig default
+    # (REPRO_KERNELS env var, else 'auto').
+    kernel_override = (
+        {} if args.kernels is None else {"kernels": args.kernels}
+    )
     return JoinConfig(
         filter=FilterConfig(
             conservative=_none_or(args.conservative),
@@ -230,6 +261,8 @@ def _join_config(args: argparse.Namespace) -> JoinConfig:
         ),
         exact_method=args.exact,
         predicate=args.predicate,
+        epsilon=args.epsilon,
+        k=args.k,
         engine=args.engine,
         batch_size=args.batch_size,
         exact_batch=args.exact_batch,
@@ -238,6 +271,7 @@ def _join_config(args: argparse.Namespace) -> JoinConfig:
         scheduler=args.scheduler,
         partitioner=args.partitioner,
         grid=tuple(args.grid),
+        **kernel_override,
     )
 
 
@@ -309,7 +343,12 @@ def cmd_join(args: argparse.Namespace) -> int:
     else:
         result = SpatialJoinProcessor(config).join(rel_a, rel_b)
     stats = result.stats
-    print(f"{args.predicate} join: {len(result)} result pairs")
+    label = args.predicate
+    if args.predicate == "distance":
+        label = f"distance (eps={config.epsilon})"
+    elif args.predicate == "knn":
+        label = f"knn (k={config.k})"
+    print(f"{label} join: {len(result)} result pairs")
     print(f"  candidates (MBR-join):  {stats.candidate_pairs}")
     print(f"  filter false hits:      {stats.filter_false_hits}")
     print(f"  filter hits:            {stats.filter_hits}")
@@ -484,8 +523,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .service import JoinService, run_server
 
     try:
+        kernel_override = (
+            {} if args.kernels is None else {"kernels": args.kernels}
+        )
         config = JoinConfig(
-            workers=args.workers, engine=args.engine, grid=tuple(args.grid)
+            workers=args.workers,
+            engine=args.engine,
+            grid=tuple(args.grid),
+            **kernel_override,
         )
         service = JoinService(
             config=config,

@@ -17,17 +17,25 @@ results and statistics; :class:`JoinConfig.engine` selects one.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 from dataclasses import dataclass, field, replace
 from typing import Iterator, List, Optional, Tuple
 
 from ..datasets.relations import SpatialObject, SpatialRelation
 from ..geometry.fastops import polygons_intersect_fast
+from ..geometry.kernels import KERNEL_BACKENDS
 from .filters import FilterConfig
 from .stats import MultiStepStats
 
 #: exact-geometry processor names accepted by :class:`JoinConfig`.
 EXACT_METHODS = ("trstar", "planesweep", "quadratic", "vectorized")
+
+#: join predicates accepted by :class:`JoinConfig`: the paper's
+#: intersection join, the containment variant, and the proximity
+#: predicates promoted to first-class joins (``distance`` needs
+#: ``epsilon``, ``knn`` needs ``k``; see :mod:`repro.core.proximity`).
+PREDICATES = ("intersects", "within", "distance", "knn")
 
 #: execution engine names accepted by :class:`JoinConfig` (see
 #: :mod:`repro.engine` for the execution models).
@@ -53,7 +61,22 @@ PARTITIONERS = ("grid", "rtree")
 #: exactly these, so two configs that differ only here share one result
 #: fingerprint — the contract the service result cache and request
 #: coalescing (:mod:`repro.service`) are built on.
-EXECUTION_ONLY_FIELDS = ("workers", "scheduler", "columnar", "session")
+EXECUTION_ONLY_FIELDS = (
+    "workers", "scheduler", "columnar", "session", "kernels"
+)
+
+
+def _default_kernels() -> str:
+    """Default kernel backend: the ``REPRO_KERNELS`` env var or 'auto'.
+
+    The env override lets CI (and local runs) force every default
+    config in a test run onto one backend — e.g. run the differential
+    suites once with ``REPRO_KERNELS=numpy`` and once with
+    ``REPRO_KERNELS=numba`` — without touching any call site.  Since
+    ``kernels`` is execution-only, the override can never change
+    results or cache fingerprints.
+    """
+    return os.environ.get("REPRO_KERNELS", "auto")
 
 
 def validate_grid(grid) -> Tuple[int, int]:
@@ -98,9 +121,22 @@ class JoinConfig:
     restrict_search_space: bool = True
     #: LRU buffer pages for I/O accounting (None = unbuffered counting).
     buffer_pages: Optional[int] = None
-    #: join predicate: 'intersects' (the paper's focus) or 'within'
-    #: ("a in b", the paper's forests-in-cities example).
+    #: join predicate: 'intersects' (the paper's focus), 'within'
+    #: ("a in b", the paper's forests-in-cities example), 'distance'
+    #: (all pairs with exact distance <= ``epsilon``), or 'knn' (each
+    #: left object's ``k`` nearest right objects by exact distance).
     predicate: str = "intersects"
+    #: distance threshold for the 'distance' predicate (>= 0, finite).
+    epsilon: float = 0.0
+    #: neighbours per left object for the 'knn' predicate (>= 1).
+    k: int = 1
+    #: kernel backend for the bulk filter/refine hot paths: 'numpy'
+    #: (vectorised oracle), 'numba' (JIT-compiled loop kernels,
+    #: requires numba), 'python' (uncompiled loop kernels, for
+    #: differential testing), or 'auto' (numba when importable, else
+    #: numpy).  Execution-only: results, order, and statistics are
+    #: identical across backends (see :mod:`repro.geometry.kernels`).
+    kernels: str = field(default_factory=_default_kernels)
     #: execution engine: 'streaming' (per-pair) or 'batched' (vectorized
     #: filter over candidate blocks); see :mod:`repro.engine`.
     engine: str = "streaming"
@@ -157,11 +193,31 @@ class JoinConfig:
                 f"unknown exact method {self.exact_method!r}; "
                 f"expected one of {EXACT_METHODS}"
             )
-        if self.predicate not in ("intersects", "within"):
+        if self.predicate not in PREDICATES:
             raise ValueError(
                 f"unknown predicate {self.predicate!r}; "
-                "expected 'intersects' or 'within'"
+                f"expected one of {PREDICATES}"
             )
+        if self.kernels not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {self.kernels!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
+            )
+        if self.kernels == "numba":
+            # Fail at the configuration boundary (clean CLI/service
+            # errors) rather than deep inside the first join; 'auto'
+            # stays lazy because it can always fall back to numpy.
+            from ..geometry.kernels import resolve_backend
+
+            resolve_backend("numba")
+        # Proximity parameters are validated unconditionally (they sit
+        # in the canonical key), with the same boundary errors the
+        # standalone distance/knn pipelines raise.
+        from ..index.knn import validate_k
+        from .distance import validate_epsilon
+
+        object.__setattr__(self, "epsilon", validate_epsilon(self.epsilon))
+        validate_k(self.k)
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; "
@@ -271,6 +327,8 @@ class JoinConfig:
         f = self.filter
         return (
             self.predicate,
+            self.epsilon,
+            self.k,
             f.conservative,
             f.progressive,
             f.use_false_area_test,
@@ -354,6 +412,18 @@ class SpatialJoinProcessor:
         stats: MultiStepStats,
         refinement=None,
     ) -> Iterator[Tuple[SpatialObject, SpatialObject]]:
+        if self.config.predicate in ("distance", "knn"):
+            # Proximity predicates run their own pipelines on the
+            # batched kernel tier (no intersection filter step).
+            from .proximity import distance_join_pipeline, knn_join_pipeline
+
+            pipeline = (
+                distance_join_pipeline
+                if self.config.predicate == "distance"
+                else knn_join_pipeline
+            )
+            yield from pipeline(relation_a, relation_b, self.config, stats)
+            return
         # Imported lazily: repro.engine pulls in the concrete engines,
         # which themselves import from repro.core.
         from ..engine import create_engine

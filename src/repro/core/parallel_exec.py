@@ -97,6 +97,7 @@ import numpy as np
 from ..datasets.columnar import RingColumns, unpack_polygon
 from ..datasets.relations import SpatialObject, SpatialRelation
 from ..geometry import Polygon, Rect
+from ..geometry.kernels import resolve_backend, warm_up
 from .join import SCHEDULERS, JoinConfig, SpatialJoinProcessor, validate_grid
 from .partition import (
     PartitionedJoinResult,
@@ -698,6 +699,19 @@ def _pool_context():
     return None
 
 
+def _warm_worker_kernels(backend: str) -> None:
+    """Pool initializer: compile/exercise the kernel backend once per worker.
+
+    Runs at worker start-up, before any tile task: with ``numba`` this
+    triggers (or loads from the on-disk cache) the JIT compilation of
+    every loop kernel exactly once per process, so no tile pays a
+    first-call compile stall.  Harmless for the interpreted backends.
+    The warm-up is recorded in :func:`repro.geometry.kernels.warm_events`
+    so tests can assert it ran without timing anything.
+    """
+    warm_up(backend)
+
+
 # ---------------------------------------------------------------------------
 # Scheduling: how tile tasks reach the workers.
 # ---------------------------------------------------------------------------
@@ -885,18 +899,23 @@ def _dispatch(
     n_workers: int,
     scheduler: Optional[Scheduler] = None,
     session=None,
+    kernels: str = "numpy",
 ) -> Tuple[List[TileOutcome], DispatchReport]:
     """Run the tasks under the scheduler on a pool (or in-process).
 
     ``session`` supplies a persistent pool when given; otherwise a
-    one-shot pool is created and torn down around the join.
+    one-shot pool is created and torn down around the join.  Either
+    pool pre-warms the resolved ``kernels`` backend in every worker at
+    start-up (:func:`_warm_worker_kernels`).
     """
     scheduler = scheduler or StaticScheduler()
     if n_workers == 1 or not tasks:
         return scheduler.execute(tasks, runner, None)
     if session is not None:
         try:
-            return scheduler.execute(tasks, runner, session.pool(n_workers))
+            return scheduler.execute(
+                tasks, runner, session.pool(n_workers, kernels=kernels)
+            )
         except BaseException as exc:
             # A pool whose worker process died is unusable for every
             # later join; discard it so the session's next join forks a
@@ -911,6 +930,8 @@ def _dispatch(
     with ProcessPoolExecutor(
         max_workers=min(n_workers, len(tasks)),
         mp_context=_pool_context(),
+        initializer=_warm_worker_kernels,
+        initargs=(kernels,),
     ) as pool:
         return scheduler.execute(tasks, runner, pool)
 
@@ -963,10 +984,39 @@ def parallel_partitioned_join(
     n_workers = config.workers
     scheduler = create_scheduler(config.scheduler)
     # Tasks ship the config to worker processes; a live session must
-    # stay behind in the parent.
+    # stay behind in the parent.  ``kernels`` is resolved here, once:
+    # workers receive (and pre-warm) a concrete backend name instead of
+    # each re-resolving "auto".
+    resolved_kernels = resolve_backend(config.kernels)
     wire_config = (
         config if config.session is None else replace(config, session=None)
     )
+    if wire_config.kernels != resolved_kernels:
+        wire_config = replace(wire_config, kernels=resolved_kernels)
+
+    if config.predicate in ("distance", "knn"):
+        # Proximity predicates do not decompose into independent MBR
+        # tiles: an ε-distance pair can straddle tiles without any MBR
+        # overlap, and a kNN result is a global per-object ordering.
+        # Both run the dedicated serial pipeline (repro.core.proximity)
+        # and report themselves as a single in-process task.
+        start = time.perf_counter()
+        serial = SpatialJoinProcessor(
+            replace(wire_config, workers=1)
+        ).join(relation_a, relation_b)
+        if session is not None:
+            session._note_join()
+        return ParallelPartitionedJoinResult(
+            pairs=serial.pairs,
+            partitions=[],
+            stats=serial.stats,
+            workers=1,
+            tile_tasks=0,
+            elapsed_seconds=time.perf_counter() - start,
+            wire_format="serial",
+            scheduler=scheduler.name,
+            partitioner=config.partitioner,
+        )
 
     start = time.perf_counter()
     shipment: Optional[ColumnarShipment] = None
@@ -1003,7 +1053,12 @@ def parallel_partitioned_join(
             runner = run_tile_task
             wire_format = "pickled-slices"
         outcomes, report = _dispatch(
-            tasks, runner, n_workers, scheduler=scheduler, session=session
+            tasks,
+            runner,
+            n_workers,
+            scheduler=scheduler,
+            session=session,
+            kernels=resolved_kernels,
         )
     finally:
         if shipment is not None:

@@ -1,0 +1,293 @@
+"""First-class proximity predicates on the multi-step join runtime.
+
+The standalone :mod:`repro.core.distance` module transfers the paper's
+multi-step shape to the within-distance join with its own result and
+stats types.  This module promotes that transfer — plus a k-nearest-
+neighbour join built on the same bounds — to first-class
+:class:`~repro.core.join.JoinConfig` predicates (``predicate='distance'``
+with ``epsilon``, ``predicate='knn'`` with ``k``): the pipelines report
+into the ordinary :class:`~repro.core.stats.MultiStepStats`, run their
+exact step on the batched kernel tier (:mod:`repro.geometry.kernels`,
+selected by ``JoinConfig.kernels``), and therefore flow through every
+runtime layer the intersection join has — CLI, sessions, and the join
+service — unchanged.
+
+Stats mapping (the Figure-1 invariants hold for both predicates):
+
+* ``distance`` — candidates are the expanded-MBR-join pairs that
+  survive the Euclidean MBR pre-test; the conservative MBC lower bound
+  eliminates false hits, the progressive MEC upper bound proves hits,
+  and the remainder is resolved by exact minimum edge distance
+  (:func:`KernelDispatcher.min_edge_distance_bulk` — identical across
+  kernel backends by construction).
+* ``knn`` — best-first MINDIST traversal per left object; every exact
+  distance computation is one candidate that goes straight to the
+  exact step (``remaining == candidate_pairs``), the emitted ``k``
+  nearest are exact hits and the rest exact false hits.
+
+Neither predicate decomposes into independent MBR tiles (an ε-near
+pair can straddle tiles without MBR overlap; a kNN result is a global
+per-object ordering), so the partitioned executor routes both through
+this serial pipeline — see ``parallel_exec.parallel_partitioned_join``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..datasets.relations import SpatialObject, SpatialRelation
+from ..geometry import Polygon
+from ..geometry.fastops import polygons_intersect_fast
+from ..geometry.kernels import KernelDispatcher, dispatcher_for
+from ..index import JoinStats, rstar_join
+from .distance import (
+    _expanded_tree,
+    circle_distance,
+    rect_distance,
+)
+from .join import JoinConfig
+from .stats import MultiStepStats
+
+Pair = Tuple[SpatialObject, SpatialObject]
+
+#: per-object edge columns: (x1, y1, x2, y2) over all rings' edges.
+EdgeColumns = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _edge_columns(polygon: Polygon) -> EdgeColumns:
+    """All edges of the polygon (shell and holes) as flat columns.
+
+    Hole edges are included to match the scalar
+    :func:`repro.core.distance.polygon_distance`; for disjoint polygons
+    they can never beat the shell (every hole point lies inside the
+    region), so including them is exact and branch-free.
+    """
+    rows = np.asarray(
+        [(e1[0], e1[1], e2[0], e2[1]) for e1, e2 in polygon.edges()],
+        dtype=np.float64,
+    ).reshape(-1, 4)
+    return rows[:, 0], rows[:, 1], rows[:, 2], rows[:, 3]
+
+
+class _EdgeCache:
+    """Per-pipeline cache of each object's edge columns (keyed by id)."""
+
+    def __init__(self) -> None:
+        self._columns: Dict[int, EdgeColumns] = {}
+
+    def get(self, obj: SpatialObject) -> EdgeColumns:
+        columns = self._columns.get(id(obj))
+        if columns is None:
+            columns = _edge_columns(obj.polygon)
+            self._columns[id(obj)] = columns
+        return columns
+
+
+def _exact_distance(
+    obj_a: SpatialObject,
+    obj_b: SpatialObject,
+    kernels: KernelDispatcher,
+    cache: _EdgeCache,
+) -> float:
+    """Exact polygon distance through the kernel tier (0 intersecting).
+
+    Same semantics as :func:`repro.core.distance.polygon_distance`: the
+    backend-independent intersection oracle decides the zero case
+    (containment and touching included), then the bulk minimum edge
+    distance kernel — bit-identical across backends — resolves the
+    disjoint case.
+    """
+    if polygons_intersect_fast(obj_a.polygon, obj_b.polygon):
+        return 0.0
+    ax1, ay1, ax2, ay2 = cache.get(obj_a)
+    bx1, by1, bx2, by2 = cache.get(obj_b)
+    return kernels.min_edge_distance_bulk(
+        ax1, ay1, ax2, ay2, bx1, by1, bx2, by2
+    )
+
+
+# ---------------------------------------------------------------------------
+# predicate='distance'
+# ---------------------------------------------------------------------------
+
+
+def distance_join_pipeline(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    config: JoinConfig,
+    stats: MultiStepStats,
+) -> Iterator[Pair]:
+    """All pairs with exact distance <= ``config.epsilon``, multi-step.
+
+    Pair order is the expanded MBR-join's candidate order — identical
+    to :func:`repro.core.distance.within_distance_join` on the same
+    relations and ε, and identical across kernel backends.
+    """
+    epsilon = config.epsilon
+    kernels = dispatcher_for(config.kernels, stats)
+    cache = _EdgeCache()
+    half = epsilon / 2.0
+    tree_a = _expanded_tree(relation_a, half, config.rtree_max_entries)
+    tree_b = _expanded_tree(relation_b, half, config.rtree_max_entries)
+    # The expanded join reports L∞ candidates; the Euclidean pre-test
+    # below corner-tightens them.  Candidate accounting starts *after*
+    # the pre-test, so raw tree stats go to a throwaway JoinStats and
+    # only the traversal-cost counters are folded in — output_pairs is
+    # set to the post-pre-test candidate count, keeping the Figure-1
+    # flow conservation (`mbr_join.output_pairs == candidate_pairs`).
+    raw = JoinStats()
+    for obj_a, obj_b in rstar_join(tree_a, tree_b, None, None, raw):
+        stats.mbr_join.mbr_tests += 1  # the Euclidean MBR pre-test
+        if rect_distance(obj_a.mbr, obj_b.mbr) > epsilon:
+            continue
+        stats.candidate_pairs += 1
+        stats.mbr_join.output_pairs += 1
+
+        # Conservative bound: MBCs contain the objects, so their gap
+        # lower-bounds the object distance — gap > ε is a false hit.
+        stats.conservative_tests += 1
+        circle_a = obj_a.approximation("MBC").circle()
+        circle_b = obj_b.approximation("MBC").circle()
+        lower = circle_distance(
+            circle_a.center, circle_a.radius,
+            circle_b.center, circle_b.radius,
+        )
+        if lower > epsilon:
+            stats.filter_false_hits += 1
+            continue
+
+        # Progressive bound: MECs lie inside the objects, so their gap
+        # upper-bounds the object distance — gap <= ε is a hit.
+        stats.progressive_tests += 1
+        disc_a = obj_a.approximation("MEC").circle()
+        disc_b = obj_b.approximation("MEC").circle()
+        upper = circle_distance(
+            disc_a.center, disc_a.radius, disc_b.center, disc_b.radius
+        )
+        if upper <= epsilon:
+            stats.filter_hits_progressive += 1
+            yield (obj_a, obj_b)
+            continue
+
+        stats.remaining_candidates += 1
+        if _exact_distance(obj_a, obj_b, kernels, cache) <= epsilon:
+            stats.exact_hits += 1
+            yield (obj_a, obj_b)
+        else:
+            stats.exact_false_hits += 1
+    stats.mbr_join.mbr_tests += raw.mbr_tests
+    stats.mbr_join.node_pairs += raw.node_pairs
+
+
+# ---------------------------------------------------------------------------
+# predicate='knn'
+# ---------------------------------------------------------------------------
+
+
+def knn_join_pipeline(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    config: JoinConfig,
+    stats: MultiStepStats,
+) -> Iterator[Pair]:
+    """Each left object's ``config.k`` nearest right objects.
+
+    Classic best-first filter-refine per left object: MINDIST from the
+    left MBR to tree rectangles lower-bounds the exact distance, so the
+    traversal stops once no pending rectangle can beat the k-th best
+    exact distance.  Per left object the neighbours are emitted in
+    ascending ``(distance, oid)`` order; left objects follow relation
+    order.  Fewer than ``k`` right objects means every one qualifies.
+
+    Every exact distance computation is one candidate pair resolved by
+    the exact step (``remaining == candidate_pairs``); the emitted
+    neighbours are the exact hits.
+    """
+    k = config.k
+    kernels = dispatcher_for(config.kernels, stats)
+    cache = _EdgeCache()
+    tree_b = relation_b.build_rtree(max_entries=config.rtree_max_entries)
+    for obj_a in relation_a:
+        if tree_b.size == 0:
+            break
+        tiebreak = itertools.count()
+        heap: List[Tuple[float, int, bool, object]] = [
+            (0.0, next(tiebreak), False, tree_b.root)
+        ]
+        # max-heap of the k best by (-exact, -oid): the root is the
+        # current worst — largest distance, ties evicting the larger
+        # oid — so the kept set is the k smallest by (exact, oid).
+        best: List[Tuple[float, float, SpatialObject]] = []
+        computed = 0
+        while heap:
+            mindist, _, is_entry, payload = heapq.heappop(heap)
+            if len(best) == k and mindist > -best[0][0]:
+                break  # no pending rectangle can beat the k-th best
+            if is_entry:
+                stats.candidate_pairs += 1
+                stats.mbr_join.output_pairs += 1
+                stats.remaining_candidates += 1
+                computed += 1
+                exact = _exact_distance(obj_a, payload, kernels, cache)
+                heapq.heappush(best, (-exact, -payload.oid, payload))
+                if len(best) > k:
+                    heapq.heappop(best)
+                continue
+            node = payload
+            stats.mbr_join.node_pairs += 1
+            if node.is_leaf:
+                for entry in node.entries:
+                    stats.mbr_join.mbr_tests += 1
+                    heapq.heappush(
+                        heap,
+                        (
+                            rect_distance(obj_a.mbr, entry.rect),
+                            next(tiebreak),
+                            True,
+                            entry.item,
+                        ),
+                    )
+            else:
+                for child in node.children:
+                    stats.mbr_join.mbr_tests += 1
+                    heapq.heappush(
+                        heap,
+                        (
+                            rect_distance(obj_a.mbr, child.mbr()),
+                            next(tiebreak),
+                            False,
+                            child,
+                        ),
+                    )
+        emitted = sorted(
+            ((-neg, -negoid, obj) for neg, negoid, obj in best),
+            key=lambda t: (t[0], t[1]),
+        )
+        stats.exact_hits += len(emitted)
+        stats.exact_false_hits += computed - len(emitted)
+        for _, _, obj_b in emitted:
+            yield (obj_a, obj_b)
+
+
+def brute_force_knn_join(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    k: int,
+) -> List[Tuple[int, int]]:
+    """Nested-loops oracle for :func:`knn_join_pipeline` (oid pairs)."""
+    from .distance import polygon_distance
+
+    out: List[Tuple[int, int]] = []
+    for obj_a in relation_a:
+        ranked = sorted(
+            (
+                (polygon_distance(obj_a.polygon, obj_b.polygon), obj_b.oid)
+                for obj_b in relation_b
+            ),
+        )
+        out.extend((obj_a.oid, oid) for _, oid in ranked[:k])
+    return out

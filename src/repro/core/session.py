@@ -77,6 +77,7 @@ from .parallel_exec import (
     ParallelPartitionedJoinResult,
     SharedRelationSegment,
     _pool_context,
+    _warm_worker_kernels,
     parallel_partitioned_join,
 )
 
@@ -173,6 +174,7 @@ class JoinSession:
         self._lock = threading.RLock()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
+        self._pool_kernels: Optional[str] = None
         #: fingerprint -> segment, least-recently-joined first.
         self._segments: "OrderedDict[str, SharedRelationSegment]" = (
             OrderedDict()
@@ -203,6 +205,7 @@ class JoinSession:
             self._closed = True
             pool, self._pool = self._pool, None
             self._pool_workers = 0
+            self._pool_kernels = None
             if pool is not None:
                 pool.shutdown(wait=True)
             segments, self._segments = self._segments, OrderedDict()
@@ -255,11 +258,15 @@ class JoinSession:
 
     # -- pooled resources ---------------------------------------------------
 
-    def pool(self, n_workers: int) -> ProcessPoolExecutor:
+    def pool(
+        self, n_workers: int, kernels: str = "numpy"
+    ) -> ProcessPoolExecutor:
         """The persistent worker pool, (re)built for ``n_workers``.
 
         Reused as long as consecutive joins ask for the same worker
-        count; a different count shuts the old pool down and forks a
+        count *and* kernel backend; a different count (or backend —
+        workers pre-warm ``kernels`` once at start-up, so a backend
+        switch needs fresh workers) shuts the old pool down and forks a
         fresh one.  A pool broken by a dying worker process is
         discarded by the executor when the ``BrokenExecutor`` surfaces
         (see ``parallel_exec._dispatch``), so the next join rebuilds it
@@ -272,14 +279,20 @@ class JoinSession:
                 self._pool, "_broken", False
             )
             if self._pool is not None and (
-                broken or self._pool_workers != n_workers
+                broken
+                or self._pool_workers != n_workers
+                or self._pool_kernels != kernels
             ):
                 self._discard_pool()
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(
-                    max_workers=n_workers, mp_context=_pool_context()
+                    max_workers=n_workers,
+                    mp_context=_pool_context(),
+                    initializer=_warm_worker_kernels,
+                    initargs=(kernels,),
                 )
                 self._pool_workers = n_workers
+                self._pool_kernels = kernels
                 self.pools_created += 1
             return self._pool
 
@@ -297,6 +310,7 @@ class JoinSession:
         with self._lock:
             pool, self._pool = self._pool, None
             self._pool_workers = 0
+            self._pool_kernels = None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 

@@ -43,6 +43,17 @@ class MultiStepStats:
     refine_batch_pairs: int = 0     # candidates resolved through a batch
     refine_fallback_pairs: int = 0  # batch members resolved by scalar code
 
+    #: per-backend kernel telemetry, keyed ``"<backend>.<kernel>"``
+    #: (``repro.geometry.kernels.KernelDispatcher``).  Execution
+    #: diagnostics only: excluded from equality (``compare=False``) and
+    #: from the service wire format, so differential suites and cached
+    #: results stay backend-independent.
+    kernel_calls: Dict[str, int] = field(default_factory=dict, compare=False)
+    kernel_pairs: Dict[str, int] = field(default_factory=dict, compare=False)
+    kernel_seconds: Dict[str, float] = field(
+        default_factory=dict, compare=False
+    )
+
     @property
     def filter_hits(self) -> int:
         return self.filter_hits_progressive + self.filter_hits_false_area
@@ -133,6 +144,14 @@ class MultiStepStats:
         self.refine_batches += other.refine_batches
         self.refine_batch_pairs += other.refine_batch_pairs
         self.refine_fallback_pairs += other.refine_fallback_pairs
+        for key, calls in other.kernel_calls.items():
+            self.kernel_calls[key] = self.kernel_calls.get(key, 0) + calls
+        for key, pairs in other.kernel_pairs.items():
+            self.kernel_pairs[key] = self.kernel_pairs.get(key, 0) + pairs
+        for key, seconds in other.kernel_seconds.items():
+            self.kernel_seconds[key] = (
+                self.kernel_seconds.get(key, 0.0) + seconds
+            )
         for op, count in other.exact_ops.counts.items():
             self.exact_ops.count(op, count)
         return self

@@ -106,6 +106,52 @@ Refinement pipeline — the exact step as its own layer
     from the rebuilt polygons.  ``benchmarks/bench_refine.py`` measures
     the exact-step speedup (report in ``benchmarks/reports/refine.txt``).
 
+The compiled kernel tier — one semantics, three backends
+    The bulk hot paths both engines lean on — MBR overlap, segment
+    intersection, the edge-intersection matrix, point-in-polygon,
+    minimum edge distance, and the per-pair plane sweep core — live
+    behind the backend registry of :mod:`repro.geometry.kernels`,
+    selected by ``JoinConfig(kernels=...)`` (CLI ``join --kernels``,
+    env default ``REPRO_KERNELS``).  ``numpy`` is the vectorised
+    reference implementation (the differential oracle); ``numba``
+    JIT-compiles loop-form twins of every kernel with
+    ``@njit(cache=True)`` — the on-disk cache plus the worker-pool
+    pre-warm hook (:func:`repro.core.parallel_exec._warm_worker_kernels`,
+    installed as the pool initializer by one-shot pools and
+    :meth:`repro.core.session.JoinSession.pool` alike) means each
+    worker process compiles at start-up, never per tile; ``python``
+    runs the same loop kernels uncompiled so the compiled tier's logic
+    is differentially testable without numba installed; ``auto`` (the
+    default) picks numba when importable and falls back to numpy
+    silently.  The backend is **execution-only**: results, order, and
+    every stats counter are identical across backends
+    (``tests/test_kernel_tier.py`` and the hypothesis fuzz in
+    ``tests/test_kernel_backends_fuzz.py`` enforce it, including
+    operation-count equality of the plane-sweep core), so
+    ``canonical_key()`` strips ``kernels`` and the service result
+    cache shares entries across backends.  Per-backend
+    calls/pairs/seconds telemetry lands in
+    ``MultiStepStats.kernel_calls`` / ``kernel_pairs`` /
+    ``kernel_seconds`` (diagnostics only — excluded from equality and
+    the wire format); ``benchmarks/bench_kernels.py`` (``make
+    bench-kernels``) writes the per-kernel pairs/second table to
+    ``benchmarks/reports/kernels.txt``.
+
+Proximity predicates — distance and kNN joins on the same runtime
+    ``JoinConfig(predicate="distance", epsilon=ε)`` joins all pairs
+    with exact polygon distance ≤ ε (expanded-MBR R*-tree join, then
+    MBC lower bound / MEC upper bound circle filters, then exact
+    minimum edge distance on the kernel tier);
+    ``predicate="knn", k=N`` emits each left object's N nearest right
+    objects by exact distance via best-first MINDIST traversal with
+    the multi-step stopping rule.  Both report ordinary
+    :class:`~repro.core.stats.MultiStepStats` (the Figure-1 invariants
+    hold) and flow through the CLI (``join --predicate distance
+    --epsilon 0.05``), sessions, and the join service unchanged; the
+    partitioned executor routes them through a serial pipeline because
+    neither decomposes into independent MBR tiles (see
+    :mod:`repro.core.proximity`).
+
 Parallel execution — model and reality
     Both engines describe how *one* process drains the candidate
     stream; parallelism is layered on top of them via the grid

@@ -26,11 +26,11 @@ from ..core.join import ENGINES, JoinConfig
 from ..core.stats import MultiStepStats
 from ..datasets.relations import SpatialObject, SpatialRelation
 from ..exact import (
-    polygons_intersect_planesweep,
     polygons_intersect_quadratic,
     polygons_intersect_trstar,
 )
 from ..geometry.fastops import polygons_intersect_fast
+from ..geometry.kernels import KernelDispatcher, get_kernels
 from ..index import AccessCounter, LRUBuffer, rstar_join
 
 Pair = Tuple[SpatialObject, SpatialObject]
@@ -69,6 +69,10 @@ class PerPairRefinement(RefinementStep):
 
     def __init__(self, config: JoinConfig):
         self.config = config
+        # The plane sweep routes through the configured kernel backend
+        # (the compiled sweep core when kernels='numba'); all backends
+        # produce identical results and operation counts.
+        self._kernels = KernelDispatcher(get_kernels(config.kernels))
 
     def resolve_batch(
         self, pairs: Sequence[Pair], stats: MultiStepStats
@@ -91,7 +95,7 @@ class PerPairRefinement(RefinementStep):
                 stats.exact_ops,
             )
         if cfg.exact_method == "planesweep":
-            return polygons_intersect_planesweep(
+            return self._kernels.bind(stats).planesweep(
                 obj_a.polygon,
                 obj_b.polygon,
                 stats.exact_ops,

@@ -41,9 +41,9 @@ from ..geometry.fastops import (
     circle_slack_bulk,
     convex_intersect_bulk,
     rects_contain_bulk,
-    rects_intersect_bulk,
     rects_intersection_area_bulk,
 )
+from ..geometry.kernels import KernelDispatcher, get_kernels
 from .base import Engine, Pair
 
 #: outcome codes used by the batch classifiers.
@@ -80,10 +80,16 @@ class BatchGeometricFilter:
         self,
         config: FilterConfig,
         columnar: Sequence[ColumnarRelation] = (),
+        kernels: Optional[KernelDispatcher] = None,
     ):
         self.config = config
         self._columnar: Tuple[ColumnarRelation, ...] = tuple(columnar or ())
         self._encoders: Dict[str, BatchApproxArrays] = {}
+        self._kernels = (
+            kernels
+            if kernels is not None
+            else KernelDispatcher(get_kernels("numpy"))
+        )
 
     def encoder(self, kind: str) -> BatchApproxArrays:
         enc = self._encoders.get(kind)
@@ -106,6 +112,7 @@ class BatchGeometricFilter:
         """Outcome codes (FALSE_HIT / HIT / CANDIDATE) per pair."""
         cfg = self.config
         n = len(objs_a)
+        self._kernels.bind(stats)
         outcomes = np.full(n, CANDIDATE, dtype=np.int8)
         unresolved = np.arange(n)
         steps = (
@@ -175,7 +182,7 @@ class BatchGeometricFilter:
         ra = enc.rows(sub_a)
         rb = enc.rows(sub_b)
         # MBR pretest — the scalar predicate's first move, in bulk.
-        result = rects_intersect_bulk(enc.mbrs[ra], enc.mbrs[rb])
+        result = self._kernels.rects_intersect_bulk(enc.mbrs[ra], enc.mbrs[rb])
         live = np.nonzero(result)[0]
         if live.size == 0:
             return result
@@ -358,7 +365,9 @@ class BatchedEngine(Engine):
         if self.config.predicate == "within":
             return BatchWithinFilter(self.config.filter, self._columnar_stores)
         return BatchGeometricFilter(
-            self.config.filter, self._columnar_stores
+            self.config.filter,
+            self._columnar_stores,
+            kernels=KernelDispatcher(get_kernels(self.config.kernels)),
         )
 
     def process(

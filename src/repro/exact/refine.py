@@ -53,13 +53,8 @@ from ..core.join import JoinConfig
 from ..core.stats import MultiStepStats
 from ..datasets.columnar import ColumnarRelation, RingColumns
 from ..engine.base import Pair, PerPairRefinement, RefinementStep
-from ..geometry.fastops import (
-    edge_matrix_intersect_any,
-    edges_overlapping_rect_mask,
-    points_in_polygons_bulk,
-    polygons_intersect_fast,
-    rects_intersect_bulk,
-)
+from ..geometry.fastops import polygons_intersect_fast
+from ..geometry.kernels import KernelDispatcher, get_kernels
 
 #: clip-rectangle inflation for the edge pruning pretest.  Must exceed
 #: the eps-tolerance of the edge-pair predicate (2 x 1e-12) by a wide
@@ -172,6 +167,9 @@ class BatchedRefinement(RefinementStep):
         self.batch_capacity = config.exact_batch
         self._geometry = (geometry_a, geometry_b)
         self._scalar = PerPairRefinement(config)
+        # All bulk kernels route through the configured backend; every
+        # backend decides identically (repro.geometry.kernels).
+        self._kernels = KernelDispatcher(get_kernels(config.kernels))
 
     @classmethod
     def from_relations(
@@ -195,6 +193,7 @@ class BatchedRefinement(RefinementStep):
     ) -> List[bool]:
         stats.refine_batches += 1
         stats.refine_batch_pairs += len(pairs)
+        self._kernels.bind(stats)
         if self.config.predicate == "within":
             stats.refine_fallback_pairs += len(pairs)
             return self._scalar.resolve_batch(pairs, stats)
@@ -213,7 +212,7 @@ class BatchedRefinement(RefinementStep):
             mbr_a[i] = (m.xmin, m.ymin, m.xmax, m.ymax)
             m = obj_b.mbr
             mbr_b[i] = (m.xmin, m.ymin, m.xmax, m.ymax)
-        overlap = rects_intersect_bulk(mbr_a, mbr_b)
+        overlap = self._kernels.rects_intersect_bulk(mbr_a, mbr_b)
         #: bulk point-in-polygon queries: (pair idx, geometry, row, point).
         contains: List[Tuple[int, RingGeometry, int, Tuple[float, float]]] = []
         contain_mbrs: List[np.ndarray] = []
@@ -247,7 +246,9 @@ class BatchedRefinement(RefinementStep):
                 )
                 contain_mbrs.append(mbr_a[i])
         if contains:
-            inside = _contains_bulk(contains, np.array(contain_mbrs))
+            inside = _contains_bulk(
+                contains, np.array(contain_mbrs), self._kernels
+            )
             for (i, _, _, _), hit in zip(contains, inside):
                 if hit:
                     results[i] = True
@@ -277,17 +278,17 @@ class BatchedRefinement(RefinementStep):
         ymin = max(bounds_a[1], bounds_b[1]) - margin
         xmax = min(bounds_a[2], bounds_b[2]) + margin
         ymax = min(bounds_a[3], bounds_b[3]) + margin
-        mask_a = edges_overlapping_rect_mask(
+        mask_a = self._kernels.edges_overlapping_rect_mask(
             ax1, ay1, ax2, ay2, xmin, ymin, xmax, ymax
         )
         if not mask_a.any():
             return False
-        mask_b = edges_overlapping_rect_mask(
+        mask_b = self._kernels.edges_overlapping_rect_mask(
             bx1, by1, bx2, by2, xmin, ymin, xmax, ymax
         )
         if not mask_b.any():
             return False
-        return edge_matrix_intersect_any(
+        return self._kernels.edge_matrix_intersect_any(
             ax1[mask_a], ay1[mask_a], ax2[mask_a], ay2[mask_a],
             bx1[mask_b], by1[mask_b], bx2[mask_b], by2[mask_b],
         )
@@ -306,6 +307,7 @@ def _rect_contains_row(outer: np.ndarray, inner: np.ndarray) -> bool:
 def _contains_bulk(
     queries: Sequence[Tuple[int, RingGeometry, int, Tuple[float, float]]],
     mbrs: np.ndarray,
+    kernels: KernelDispatcher,
 ) -> np.ndarray:
     """One bulk point-in-polygon call over the batch's containment queries."""
     px = np.array([point[0] for _, _, _, point in queries])
@@ -319,4 +321,6 @@ def _contains_bulk(
         qidx_parts.append(np.full(len(edge_set[0]), q, dtype=np.intp))
     ex1, ey1, ex2, ey2 = (np.concatenate(p) for p in edge_parts)
     qidx = np.concatenate(qidx_parts)
-    return points_in_polygons_bulk(px, py, qidx, ex1, ey1, ex2, ey2, mbrs)
+    return kernels.points_in_polygons_bulk(
+        px, py, qidx, ex1, ey1, ex2, ey2, mbrs
+    )

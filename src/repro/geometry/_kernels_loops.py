@@ -1,0 +1,412 @@
+"""Loop-form geometry kernels for the compiled kernel tier.
+
+Every function here is a *scalar loop* transliteration of one numpy
+oracle kernel from :mod:`repro.geometry.fastops` (or of the scalar
+plane sweep in :mod:`repro.exact.planesweep`), written in the
+nopython-compatible subset of Python that ``numba.njit`` accepts:
+plain ``for`` loops over contiguous float64/int64 arrays, ``math``
+scalars, no Python objects.
+
+The module itself never imports numba.  :mod:`repro.geometry.kernels`
+compiles these functions with ``numba.njit(cache=True)`` when numba is
+importable (the ``"numba"`` backend) and calls them uncompiled
+otherwise (the ``"python"`` backend, which exists so the loop logic is
+differential-testable against the numpy oracle even on machines
+without numba).
+
+Float arithmetic is kept operation-for-operation identical to the
+oracle kernels — same expressions, same epsilons, same evaluation
+order — so all backends decide every predicate identically and the
+differential suites stay byte-identical across backends.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: same absolute tolerance as ``repro.geometry.predicates.EPSILON``.
+EPSILON = 1e-12
+
+#: names compiled by the numba backend (helpers first is not required —
+#: numba resolves globals at first-call compile time).
+JIT_FUNCTIONS = (
+    "_orient_sign",
+    "_cross",
+    "_on_seg",
+    "_seg_intersect",
+    "_point_seg_dist",
+    "_edge_y_at",
+    "_edge_slope",
+    "segments_intersect_rows",
+    "points_in_polygons",
+    "edge_matrix_any",
+    "edges_overlapping_rect",
+    "rects_intersect_rows",
+    "min_edge_distance",
+    "sweep_core",
+)
+
+
+def _cross(ax, ay, bx, by, cx, cy):
+    """Raw signed cross product of ``(b - a) x (c - a)``."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def _orient_sign(ax, ay, bx, by, cx, cy):
+    """Scalar ``predicates.orientation``: sign in {-1, 0, +1}."""
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    if cross > EPSILON:
+        return 1
+    if cross < -EPSILON:
+        return -1
+    return 0
+
+
+def _on_seg(px, py, qx, qy, rx, ry):
+    """Scalar ``predicates.on_segment``: ``q`` in the eps-closed box ``p-r``."""
+    if qx < min(px, rx) - EPSILON:
+        return False
+    if qx > max(px, rx) + EPSILON:
+        return False
+    if qy < min(py, ry) - EPSILON:
+        return False
+    if qy > max(py, ry) + EPSILON:
+        return False
+    return True
+
+
+def _seg_intersect(p1x, p1y, p2x, p2y, q1x, q1y, q2x, q2y):
+    """Scalar ``segment.segments_intersect`` on unpacked coordinates."""
+    o1 = _orient_sign(p1x, p1y, p2x, p2y, q1x, q1y)
+    o2 = _orient_sign(p1x, p1y, p2x, p2y, q2x, q2y)
+    o3 = _orient_sign(q1x, q1y, q2x, q2y, p1x, p1y)
+    o4 = _orient_sign(q1x, q1y, q2x, q2y, p2x, p2y)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_seg(p1x, p1y, q1x, q1y, p2x, p2y):
+        return True
+    if o2 == 0 and _on_seg(p1x, p1y, q2x, q2y, p2x, p2y):
+        return True
+    if o3 == 0 and _on_seg(q1x, q1y, p1x, p1y, q2x, q2y):
+        return True
+    if o4 == 0 and _on_seg(q1x, q1y, p2x, p2y, q2x, q2y):
+        return True
+    return False
+
+
+def _point_seg_dist(px, py, ax, ay, bx, by):
+    """Scalar ``predicates.point_segment_distance`` (sqrt, not hypot, so
+    the numpy oracle computes bit-identical values)."""
+    dx = bx - ax
+    dy = by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq <= EPSILON * EPSILON:
+        ddx = px - ax
+        ddy = py - ay
+        return math.sqrt(ddx * ddx + ddy * ddy)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+    if t < 0.0:
+        t = 0.0
+    elif t > 1.0:
+        t = 1.0
+    cx = ax + t * dx
+    cy = ay + t * dy
+    ddx = px - cx
+    ddy = py - cy
+    return math.sqrt(ddx * ddx + ddy * ddy)
+
+
+# ---------------------------------------------------------------------------
+# Bulk kernels (loop counterparts of the fastops numpy kernels)
+# ---------------------------------------------------------------------------
+
+
+def segments_intersect_rows(p1x, p1y, p2x, p2y, q1x, q1y, q2x, q2y):
+    """Loop counterpart of ``fastops.segments_intersect_bulk``."""
+    n = p1x.shape[0]
+    out = np.zeros(n, dtype=np.bool_)
+    for i in range(n):
+        out[i] = _seg_intersect(
+            p1x[i], p1y[i], p2x[i], p2y[i], q1x[i], q1y[i], q2x[i], q2y[i]
+        )
+    return out
+
+
+def points_in_polygons(px, py, qidx, ex1, ey1, ex2, ey2, mbrs):
+    """Loop counterpart of ``fastops.points_in_polygons_bulk``.
+
+    ``mbrs`` is a ``(k, 4)`` matrix, or a ``(0, 4)`` sentinel when the
+    caller passed no MBR pretest (matching ``mbrs=None`` in the oracle).
+    """
+    k = px.shape[0]
+    inside = np.zeros(k, dtype=np.bool_)
+    boundary = np.zeros(k, dtype=np.bool_)
+    for e in range(ex1.shape[0]):
+        q = qidx[e]
+        x = px[q]
+        y = py[q]
+        o = _orient_sign(ex1[e], ey1[e], x, y, ex2[e], ey2[e])
+        if o == 0 and _on_seg(ex1[e], ey1[e], x, y, ex2[e], ey2[e]):
+            boundary[q] = True
+        if (ey2[e] > y) != (ey1[e] > y):
+            x_cross = (
+                (ex1[e] - ex2[e]) * (y - ey2[e]) / (ey1[e] - ey2[e]) + ex2[e]
+            )
+            if x < x_cross:
+                inside[q] = not inside[q]
+    for q in range(k):
+        if boundary[q]:
+            inside[q] = True
+    if mbrs.shape[0] == k:
+        for q in range(k):
+            ok = (
+                mbrs[q, 0] <= px[q]
+                and px[q] <= mbrs[q, 2]
+                and mbrs[q, 1] <= py[q]
+                and py[q] <= mbrs[q, 3]
+            )
+            if not ok:
+                inside[q] = False
+    return inside
+
+
+def edge_matrix_any(ax1, ay1, ax2, ay2, bx1, by1, bx2, by2):
+    """Loop counterpart of ``fastops.edge_matrix_intersect_any``.
+
+    The oracle answers "does *any* edge pair intersect" in two passes
+    (all proper crossings, then all touches); a per-pair
+    proper-or-touch loop with early return computes the same boolean.
+    """
+    eps = 1e-12
+    n1 = ax1.shape[0]
+    n2 = bx1.shape[0]
+    for i in range(n1):
+        p1x = ax1[i]
+        p1y = ay1[i]
+        p2x = ax2[i]
+        p2y = ay2[i]
+        for j in range(n2):
+            q1x = bx1[j]
+            q1y = by1[j]
+            q2x = bx2[j]
+            q2y = by2[j]
+            o1 = _cross(p1x, p1y, p2x, p2y, q1x, q1y)
+            o2 = _cross(p1x, p1y, p2x, p2y, q2x, q2y)
+            o3 = _cross(q1x, q1y, q2x, q2y, p1x, p1y)
+            o4 = _cross(q1x, q1y, q2x, q2y, p2x, p2y)
+            if ((o1 > eps and o2 < -eps) or (o1 < -eps and o2 > eps)) and (
+                (o3 > eps and o4 < -eps) or (o3 < -eps and o4 > eps)
+            ):
+                return True
+            if abs(o1) <= eps and _on_seg(p1x, p1y, q1x, q1y, p2x, p2y):
+                return True
+            if abs(o2) <= eps and _on_seg(p1x, p1y, q2x, q2y, p2x, p2y):
+                return True
+            if abs(o3) <= eps and _on_seg(q1x, q1y, p1x, p1y, q2x, q2y):
+                return True
+            if abs(o4) <= eps and _on_seg(q1x, q1y, p2x, p2y, q2x, q2y):
+                return True
+    return False
+
+
+def edges_overlapping_rect(x1, y1, x2, y2, xmin, ymin, xmax, ymax):
+    """Loop counterpart of ``fastops.edges_overlapping_rect_mask``."""
+    n = x1.shape[0]
+    out = np.zeros(n, dtype=np.bool_)
+    for i in range(n):
+        out[i] = (
+            min(x1[i], x2[i]) <= xmax
+            and max(x1[i], x2[i]) >= xmin
+            and min(y1[i], y2[i]) <= ymax
+            and max(y1[i], y2[i]) >= ymin
+        )
+    return out
+
+
+def rects_intersect_rows(a, b):
+    """Loop counterpart of ``fastops.rects_intersect_bulk``."""
+    n = a.shape[0]
+    out = np.zeros(n, dtype=np.bool_)
+    for i in range(n):
+        out[i] = (
+            a[i, 0] <= b[i, 2]
+            and b[i, 0] <= a[i, 2]
+            and a[i, 1] <= b[i, 3]
+            and b[i, 1] <= a[i, 3]
+        )
+    return out
+
+
+def min_edge_distance(ax1, ay1, ax2, ay2, bx1, by1, bx2, by2):
+    """Loop counterpart of ``fastops.min_edge_distance_bulk``.
+
+    Minimum over all edge pairs of the closed-segment distance
+    (``core.distance.segment_distance`` semantics: 0 on a proper
+    crossing, else the min of the four endpoint-to-segment distances).
+    """
+    n1 = ax1.shape[0]
+    n2 = bx1.shape[0]
+    best = np.inf
+    for i in range(n1):
+        p1x = ax1[i]
+        p1y = ay1[i]
+        p2x = ax2[i]
+        p2y = ay2[i]
+        for j in range(n2):
+            q1x = bx1[j]
+            q1y = by1[j]
+            q2x = bx2[j]
+            q2y = by2[j]
+            d1 = _cross(q1x, q1y, q2x, q2y, p1x, p1y)
+            d2 = _cross(q1x, q1y, q2x, q2y, p2x, p2y)
+            d3 = _cross(p1x, p1y, p2x, p2y, q1x, q1y)
+            d4 = _cross(p1x, p1y, p2x, p2y, q2x, q2y)
+            if ((d1 > 0 and d2 < 0) or (d1 < 0 and d2 > 0)) and (
+                (d3 > 0 and d4 < 0) or (d3 < 0 and d4 > 0)
+            ):
+                return 0.0
+            d = _point_seg_dist(p1x, p1y, q1x, q1y, q2x, q2y)
+            dd = _point_seg_dist(p2x, p2y, q1x, q1y, q2x, q2y)
+            if dd < d:
+                d = dd
+            dd = _point_seg_dist(q1x, q1y, p1x, p1y, p2x, p2y)
+            if dd < d:
+                d = dd
+            dd = _point_seg_dist(q2x, q2y, p1x, p1y, p2x, p2y)
+            if dd < d:
+                d = dd
+            if d < best:
+                best = d
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Plane-sweep core (loop counterpart of exact.planesweep._sweep_finds_
+# intersection, including its cost-model counting)
+# ---------------------------------------------------------------------------
+
+
+def _edge_y_at(lx, ly, rx, ry, x):
+    """``segment.segment_y_at`` on an unpacked left/right edge."""
+    dx = rx - lx
+    if abs(dx) <= EPSILON:
+        return min(ly, ry)
+    t = (x - lx) / dx
+    return ly + t * (ry - ly)
+
+
+def _edge_slope(lx, ly, rx, ry):
+    """Status tie-break slope: dy/dx, +inf for vertical edges."""
+    if rx > lx:
+        return (ry - ly) / (rx - lx)
+    return np.inf
+
+
+def sweep_core(pid, lx, ly, rx, ry, ev_x, ev_del, ev_edge):
+    """Shamos–Hoey sweep over pre-sorted events.
+
+    ``pid``/``lx``/``ly``/``rx``/``ry`` describe the left/right-ordered
+    edges; ``ev_x``/``ev_del``/``ev_edge`` are the event arrays sorted
+    by ``(x, is_delete, left_y)`` with ties in original (edge) order —
+    exactly the scalar event queue.  Replicates ``_SweepStatus``
+    semantics: binary-search insertion counting one *position test* per
+    key comparison, removal of the first value-equal edge, neighbour
+    tests after insert/delete, and the ``idx +/- 2`` near-tie probes.
+
+    Returns ``(found, position_tests, edge_intersection_tests)``.
+    """
+    n = pid.shape[0]
+    status = np.empty(n, dtype=np.int64)
+    m = 0
+    positions = 0
+    tests = 0
+    for t in range(ev_x.shape[0]):
+        x = ev_x[t]
+        e = ev_edge[t]
+        if ev_del[t] == 1:
+            # list.index(edge): first *value-equal* edge in the status.
+            idx = -1
+            for j in range(m):
+                s = status[j]
+                if (
+                    pid[s] == pid[e]
+                    and lx[s] == lx[e]
+                    and ly[s] == ly[e]
+                    and rx[s] == rx[e]
+                    and ry[s] == ry[e]
+                ):
+                    idx = j
+                    break
+            if idx < 0:
+                continue
+            for j in range(idx, m - 1):
+                status[j] = status[j + 1]
+            m -= 1
+            if idx - 1 >= 0 and idx < m:
+                below = status[idx - 1]
+                above = status[idx]
+                if pid[below] != pid[above]:
+                    tests += 1
+                    if _seg_intersect(
+                        lx[below], ly[below], rx[below], ry[below],
+                        lx[above], ly[above], rx[above], ry[above],
+                    ):
+                        return 1, positions, tests
+        else:
+            ky = _edge_y_at(lx[e], ly[e], rx[e], ry[e], x)
+            ks = _edge_slope(lx[e], ly[e], rx[e], ry[e])
+            lo = 0
+            hi = m
+            while lo < hi:
+                mid = (lo + hi) // 2
+                positions += 1
+                s = status[mid]
+                my = _edge_y_at(lx[s], ly[s], rx[s], ry[s], x)
+                ms = _edge_slope(lx[s], ly[s], rx[s], ry[s])
+                if my < ky or (my == ky and ms < ks):
+                    lo = mid + 1
+                else:
+                    hi = mid
+            for j in range(m, lo, -1):
+                status[j] = status[j - 1]
+            status[lo] = e
+            m += 1
+            idx = lo
+            if idx - 1 >= 0:
+                other = status[idx - 1]
+                if pid[other] != pid[e]:
+                    tests += 1
+                    if _seg_intersect(
+                        lx[e], ly[e], rx[e], ry[e],
+                        lx[other], ly[other], rx[other], ry[other],
+                    ):
+                        return 1, positions, tests
+            if idx + 1 < m:
+                other = status[idx + 1]
+                if pid[other] != pid[e]:
+                    tests += 1
+                    if _seg_intersect(
+                        lx[e], ly[e], rx[e], ry[e],
+                        lx[other], ly[other], rx[other], ry[other],
+                    ):
+                        return 1, positions, tests
+            # Near-tie probes: edges whose keys coincide at x may hide a
+            # crossing partner one slot further away (tol = 1e-12).
+            for step in range(2):
+                probe = idx - 2 if step == 0 else idx + 2
+                if probe < 0 or probe >= m:
+                    continue
+                other = status[probe]
+                y1 = _edge_y_at(lx[e], ly[e], rx[e], ry[e], x)
+                y2 = _edge_y_at(lx[other], ly[other], rx[other], ry[other], x)
+                if abs(y1 - y2) <= 1e-12:
+                    if pid[other] != pid[e]:
+                        tests += 1
+                        if _seg_intersect(
+                            lx[e], ly[e], rx[e], ry[e],
+                            lx[other], ly[other], rx[other], ry[other],
+                        ):
+                            return 1, positions, tests
+    return 0, positions, tests

@@ -488,6 +488,90 @@ def edges_overlapping_rect_mask(
     )
 
 
+def _point_segment_distance_bulk(
+    px: np.ndarray,
+    py: np.ndarray,
+    ax: np.ndarray,
+    ay: np.ndarray,
+    bx: np.ndarray,
+    by: np.ndarray,
+) -> np.ndarray:
+    """Broadcast point-to-closed-segment distance.
+
+    Same expressions (and ``sqrt`` instead of ``hypot``) as the loop
+    kernel ``_kernels_loops._point_seg_dist``, so all backends compute
+    bit-identical distances.
+    """
+    dx = bx - ax
+    dy = by - ay
+    seg_len_sq = dx * dx + dy * dy
+    degenerate = seg_len_sq <= EPSILON * EPSILON
+    safe = np.where(degenerate, 1.0, seg_len_sq)
+    t = np.clip(((px - ax) * dx + (py - ay) * dy) / safe, 0.0, 1.0)
+    cx = ax + t * dx
+    cy = ay + t * dy
+    ddx = px - cx
+    ddy = py - cy
+    dist = np.sqrt(ddx * ddx + ddy * ddy)
+    ddx0 = px - ax
+    ddy0 = py - ay
+    dist0 = np.sqrt(ddx0 * ddx0 + ddy0 * ddy0)
+    return np.where(degenerate, dist0, dist)
+
+
+def min_edge_distance_bulk(
+    ax1: np.ndarray,
+    ay1: np.ndarray,
+    ax2: np.ndarray,
+    ay2: np.ndarray,
+    bx1: np.ndarray,
+    by1: np.ndarray,
+    bx2: np.ndarray,
+    by2: np.ndarray,
+) -> float:
+    """Minimum closed-segment distance over all ``n1 x n2`` edge pairs.
+
+    The bulk counterpart of ``core.distance.segment_distance`` reduced
+    over every pair: 0 for a properly crossing pair (the raw-sign
+    crossing test, no epsilon), else the minimum of the four
+    endpoint-to-segment distances.  Used by the exact step of the
+    distance-join predicate; returns ``inf`` for empty edge sets.
+    """
+    if len(ax1) == 0 or len(bx1) == 0:
+        return float("inf")
+    p1x = ax1[:, None]
+    p1y = ay1[:, None]
+    p2x = ax2[:, None]
+    p2y = ay2[:, None]
+    q1x = bx1[None, :]
+    q1y = by1[None, :]
+    q2x = bx2[None, :]
+    q2y = by2[None, :]
+
+    def cross(ax, ay, bx, by, cx, cy):
+        return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+    d1 = cross(q1x, q1y, q2x, q2y, p1x, p1y)
+    d2 = cross(q1x, q1y, q2x, q2y, p2x, p2y)
+    d3 = cross(p1x, p1y, p2x, p2y, q1x, q1y)
+    d4 = cross(p1x, p1y, p2x, p2y, q2x, q2y)
+    proper = (((d1 > 0) & (d2 < 0)) | ((d1 < 0) & (d2 > 0))) & (
+        ((d3 > 0) & (d4 < 0)) | ((d3 < 0) & (d4 > 0))
+    )
+    dist = np.minimum(
+        np.minimum(
+            _point_segment_distance_bulk(p1x, p1y, q1x, q1y, q2x, q2y),
+            _point_segment_distance_bulk(p2x, p2y, q1x, q1y, q2x, q2y),
+        ),
+        np.minimum(
+            _point_segment_distance_bulk(q1x, q1y, p1x, p1y, p2x, p2y),
+            _point_segment_distance_bulk(q2x, q2y, p1x, p1y, p2x, p2y),
+        ),
+    )
+    dist = np.where(proper, 0.0, dist)
+    return float(dist.min())
+
+
 #: cap on the temporary projection-tensor size of the bulk SAT kernel.
 _SAT_CHUNK_ELEMS = 4_000_000
 

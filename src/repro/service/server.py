@@ -13,6 +13,9 @@ Request shapes::
     {"op": "join", "relation_a": "a.wkt", "relation_b": "b.wkt",
      "predicate": "intersects", "engine": "batched", "workers": 2,
      "grid": [4, 4], "partitioner": "grid", "exact": "trstar", ...}
+    {"op": "join", "relation_a": "a.wkt", "relation_b": "b.wkt",
+     "predicate": "distance", "epsilon": 0.05}     # or "knn" with "k"
+    {"op": "join", ..., "kernels": "numba"}        # execution-only
     {"op": "window", "relation": "a.wkt",
      "window": [xmin, ymin, xmax, ymax]}
     {"op": "knn", "relation": "a.wkt", "point": [x, y], "k": 5}
@@ -53,6 +56,8 @@ from .core import JoinService
 #: request fields accepted by the "join" op and their JoinConfig names.
 _JOIN_FIELDS = {
     "predicate": "predicate",
+    "epsilon": "epsilon",
+    "k": "k",
     "engine": "engine",
     "exact": "exact_method",
     "batch_size": "batch_size",
@@ -61,6 +66,7 @@ _JOIN_FIELDS = {
     "scheduler": "scheduler",
     "partitioner": "partitioner",
     "columnar": "columnar",
+    "kernels": "kernels",
 }
 
 

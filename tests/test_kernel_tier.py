@@ -1,0 +1,383 @@
+"""Integration tests for the compiled kernel tier and proximity joins.
+
+Four contracts, end to end:
+
+1. **Backend resolution** — ``JoinConfig.kernels`` / ``REPRO_KERNELS``
+   validate at the configuration boundary; ``auto`` degrades silently,
+   an explicit ``numba`` without numba fails with a clear error.
+2. **Execution-only** — joins are byte-identical (pairs, order, every
+   Figure-1 counter) across kernel backends, on every engine and exact
+   method; kernel telemetry is recorded but invisible to stats
+   equality and to the service wire format.
+3. **Pre-warm** — session pool workers warm their backend exactly once
+   at start-up and never re-JIT per tile (timing-insensitive: asserted
+   on the warm-event log, not on elapsed time).
+4. **Proximity predicates** — ``distance`` and ``knn`` joins match
+   their nested-loops oracles through the processor, the parallel
+   executor (serial routing), the service payload parser, and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from helpers import random_relation_pair, stats_fingerprint
+from repro.cli import main as cli_main
+from repro.core.distance import brute_force_distance_join, within_distance_join
+from repro.core.join import EXECUTION_ONLY_FIELDS, JoinConfig, SpatialJoinProcessor
+from repro.core.parallel_exec import parallel_partitioned_join
+from repro.core.proximity import brute_force_knn_join
+from repro.core.session import JoinSession
+from repro.core.stats import MultiStepStats
+from repro.datasets.io import save_relation
+from repro.geometry.kernels import (
+    KERNEL_BACKENDS,
+    NUMBA_AVAILABLE,
+    resolve_backend,
+    warm_events,
+    warm_up,
+)
+from repro.service import stats_to_dict
+from repro.service.api import BadRequestError
+from repro.service.server import _join_config_from_payload
+
+#: backends every default-config join must match bit-for-bit.
+ALT_BACKENDS = ["python"] + (["numba"] if NUMBA_AVAILABLE else [])
+
+
+def _relations(seed, n_objects=20):
+    # degenerate=False: the TR*-tree exact processor rejects fully
+    # collinear slivers (documented pre-existing limitation).
+    return random_relation_pair(seed, n_objects=n_objects, degenerate=False)
+
+
+# ---------------------------------------------------------------------------
+# 1. Backend resolution and validation
+# ---------------------------------------------------------------------------
+
+
+class TestBackendResolution:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("fortran")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            JoinConfig(kernels="fortran")
+
+    def test_auto_resolves_to_concrete_backend(self):
+        assert resolve_backend("auto") == (
+            "numba" if NUMBA_AVAILABLE else "numpy"
+        )
+        for name in KERNEL_BACKENDS:
+            if name == "numba" and not NUMBA_AVAILABLE:
+                continue
+            assert resolve_backend(name) != "auto"
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="needs numba to be absent")
+    def test_explicit_numba_without_numba_fails_fast(self):
+        with pytest.raises(ValueError, match="numba is not importable"):
+            resolve_backend("numba")
+        # ...and already at JoinConfig construction, so the CLI and the
+        # service surface a clean boundary error instead of a traceback.
+        with pytest.raises(ValueError, match="numba is not importable"):
+            JoinConfig(kernels="numba")
+
+    def test_repro_kernels_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "python")
+        assert JoinConfig().kernels == "python"
+        monkeypatch.delenv("REPRO_KERNELS")
+        assert JoinConfig().kernels == "auto"
+        monkeypatch.setenv("REPRO_KERNELS", "gpu")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            JoinConfig()
+
+    def test_warm_up_records_event(self):
+        before = warm_events()
+        assert warm_up("python") == "python"
+        assert warm_events() == before + ("python",)
+
+
+# ---------------------------------------------------------------------------
+# 2. Execution-only: backends are invisible in results and statistics
+# ---------------------------------------------------------------------------
+
+#: engine/exact variety exercising every kernel call site.
+ENGINE_CONFIGS = [
+    JoinConfig(),
+    JoinConfig(engine="batched"),
+    JoinConfig(exact_method="vectorized", exact_batch=64),
+    JoinConfig(engine="batched", exact_method="planesweep"),
+    JoinConfig(predicate="within", engine="batched"),
+]
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize(
+        "config", ENGINE_CONFIGS,
+        ids=lambda c: f"{c.engine}-{c.exact_method}-{c.predicate}",
+    )
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_joins_identical_across_backends(self, config, backend):
+        rel_a, rel_b = _relations(41)
+        oracle = SpatialJoinProcessor(
+            replace(config, kernels="numpy")
+        ).join(rel_a, rel_b)
+        got = SpatialJoinProcessor(
+            replace(config, kernels=backend)
+        ).join(rel_a, rel_b)
+        assert got.id_pairs() == oracle.id_pairs()
+        assert len(oracle) > 0
+        # Telemetry differs (different backend prefixes) but is
+        # compare=False: the Figure-1 statistics must be *equal*.
+        assert got.stats == oracle.stats
+        assert stats_fingerprint(got.stats) == stats_fingerprint(oracle.stats)
+
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_proximity_identical_across_backends(self, backend):
+        rel_a, rel_b = _relations(42)
+        for config in (
+            JoinConfig(predicate="distance", epsilon=0.2),
+            JoinConfig(predicate="knn", k=3),
+        ):
+            oracle = SpatialJoinProcessor(
+                replace(config, kernels="numpy")
+            ).join(rel_a, rel_b)
+            got = SpatialJoinProcessor(
+                replace(config, kernels=backend)
+            ).join(rel_a, rel_b)
+            assert got.id_pairs() == oracle.id_pairs()
+            assert got.stats == oracle.stats
+
+
+class TestKernelTelemetry:
+    def test_distance_join_records_kernel_calls(self):
+        rel_a, rel_b = _relations(43)
+        config = JoinConfig(predicate="distance", epsilon=0.3,
+                            kernels="python")
+        result = SpatialJoinProcessor(config).join(rel_a, rel_b)
+        stats = result.stats
+        assert stats.kernel_calls, "no kernel telemetry recorded"
+        assert all(key.startswith("python.") for key in stats.kernel_calls)
+        assert stats.kernel_calls.keys() == stats.kernel_pairs.keys()
+        assert stats.kernel_calls.keys() == stats.kernel_seconds.keys()
+        assert "python.min_edge_distance_bulk" in stats.kernel_calls
+        assert all(n >= 1 for n in stats.kernel_calls.values())
+        assert all(s >= 0.0 for s in stats.kernel_seconds.values())
+
+    def test_telemetry_excluded_from_equality_and_wire_format(self):
+        a, b = MultiStepStats(), MultiStepStats()
+        a.kernel_calls["numpy.planesweep"] = 7
+        a.kernel_pairs["numpy.planesweep"] = 7
+        a.kernel_seconds["numpy.planesweep"] = 0.1
+        assert a == b  # compare=False: execution detail, not a result
+        wire = stats_to_dict(a)
+        assert not any("kernel" in key for key in wire)
+
+    def test_telemetry_merges_across_tiles(self):
+        merged = MultiStepStats()
+        for calls in ({"python.planesweep": 2}, {"python.planesweep": 3,
+                                                 "python.rects_intersect_bulk": 1}):
+            tile = MultiStepStats()
+            tile.kernel_calls.update(calls)
+            merged.merge(tile)
+        assert merged.kernel_calls == {
+            "python.planesweep": 5,
+            "python.rects_intersect_bulk": 1,
+        }
+
+
+# ---------------------------------------------------------------------------
+# 3. Pre-warm: one warm-up per worker, never per tile
+# ---------------------------------------------------------------------------
+
+
+def _fetch_warm_events():
+    """Top-level so the pool can pickle it by reference (fork context)."""
+    from repro.geometry.kernels import warm_events
+
+    return warm_events()
+
+
+class TestPoolPreWarm:
+    def test_session_workers_warm_once_and_never_rejit(self):
+        """Every pool worker warms its backend exactly once at start-up;
+        running joins adds no further warm-ups (no per-tile re-JIT).
+        Timing-insensitive: asserted on the warm-event log."""
+        config = JoinConfig(workers=2, kernels="python", grid=(2, 2))
+        with JoinSession(config=config) as session:
+            # Snapshot the parent's events *before* the pool forks —
+            # children inherit them and must append exactly one entry.
+            parent_snapshot = warm_events()
+            expected = parent_snapshot + ("python",)
+            pool = session.pool(2, kernels="python")
+            for _ in range(8):
+                assert pool.submit(_fetch_warm_events).result() == expected
+
+            rel_a, rel_b = _relations(44, n_objects=16)
+            session.join(rel_a, rel_b)
+            session.join(rel_a, rel_b)
+            for _ in range(8):
+                assert pool.submit(_fetch_warm_events).result() == expected
+            assert session.pools_created == 1  # joins reused the pool
+            # The parent process never warmed on the session's behalf.
+            assert warm_events() == parent_snapshot
+
+    def test_backend_switch_rebuilds_pool_with_new_warmup(self):
+        with JoinSession(config=JoinConfig(workers=2)) as session:
+            parent_snapshot = warm_events()
+            pool = session.pool(2, kernels="python")
+            assert pool.submit(_fetch_warm_events).result() == (
+                parent_snapshot + ("python",)
+            )
+            pool = session.pool(2, kernels="numpy")
+            assert pool.submit(_fetch_warm_events).result() == (
+                parent_snapshot + ("numpy",)
+            )
+            assert session.pools_created == 2
+
+
+# ---------------------------------------------------------------------------
+# 4. Proximity predicates end to end
+# ---------------------------------------------------------------------------
+
+
+class TestDistanceJoin:
+    def test_matches_brute_force_and_standalone(self):
+        rel_a, rel_b = _relations(45)
+        for epsilon in (0.0, 0.05, 0.25):
+            config = JoinConfig(predicate="distance", epsilon=epsilon)
+            result = SpatialJoinProcessor(config).join(rel_a, rel_b)
+            assert sorted(result.id_pairs()) == sorted(
+                brute_force_distance_join(rel_a, rel_b, epsilon)
+            )
+            # Pair *order* matches the standalone distance pipeline.
+            standalone = within_distance_join(rel_a, rel_b, epsilon)
+            assert result.id_pairs() == [
+                (a.oid, b.oid) for a, b in standalone.pairs
+            ]
+        assert len(result) > 0  # epsilon=0.25 finds neighbours
+        result.stats.check_invariants()
+
+    def test_parallel_executor_routes_serial(self):
+        """Proximity pairs can straddle tile boundaries, so the
+        partitioned executor must fall back to one serial join."""
+        rel_a, rel_b = _relations(46)
+        config = JoinConfig(predicate="distance", epsilon=0.2, workers=3,
+                            grid=(3, 3))
+        parallel = parallel_partitioned_join(rel_a, rel_b, config=config)
+        serial = SpatialJoinProcessor(
+            replace(config, workers=1)
+        ).join(rel_a, rel_b)
+        assert parallel.wire_format == "serial"
+        assert parallel.workers == 1
+        assert parallel.tile_tasks == 0
+        assert list(parallel.id_pairs()) == serial.id_pairs()
+        assert parallel.stats == serial.stats
+
+
+class TestKnnJoin:
+    @pytest.mark.parametrize("k", [1, 3, 40])
+    def test_matches_brute_force(self, k):
+        # k=40 > |B|: every left object pairs with all right objects.
+        rel_a, rel_b = _relations(47)
+        config = JoinConfig(predicate="knn", k=k)
+        result = SpatialJoinProcessor(config).join(rel_a, rel_b)
+        assert result.id_pairs() == brute_force_knn_join(rel_a, rel_b, k)
+        assert len(result) == len(list(rel_a)) * min(k, len(list(rel_b)))
+        result.stats.check_invariants()
+
+    def test_session_join_routes_serial(self):
+        rel_a, rel_b = _relations(48)
+        config = JoinConfig(predicate="knn", k=2, workers=2)
+        with JoinSession(config=config) as session:
+            inside = session.join(rel_a, rel_b)
+            assert session.joins_run == 1
+        serial = SpatialJoinProcessor(
+            replace(config, workers=1)
+        ).join(rel_a, rel_b)
+        assert inside.wire_format == "serial"
+        assert list(inside.id_pairs()) == serial.id_pairs()
+
+
+class TestServicePayload:
+    def test_proximity_and_kernel_fields_accepted(self):
+        base = JoinConfig()
+        request = {"op": "join", "relation_a": "a", "relation_b": "b"}
+        config = _join_config_from_payload(
+            {**request, "predicate": "distance", "epsilon": 0.05,
+             "kernels": "python"},
+            base,
+        )
+        assert config.predicate == "distance"
+        assert config.epsilon == 0.05
+        assert config.kernels == "python"
+        config = _join_config_from_payload(
+            {**request, "predicate": "knn", "k": 3}, base
+        )
+        assert config.predicate == "knn"
+        assert config.k == 3
+
+    def test_invalid_values_are_boundary_errors(self):
+        base = JoinConfig()
+        request = {"op": "join", "relation_a": "a", "relation_b": "b"}
+        with pytest.raises(BadRequestError, match="epsilon"):
+            _join_config_from_payload({**request, "epsilon": -1.0}, base)
+        with pytest.raises(BadRequestError, match="k "):
+            _join_config_from_payload(
+                {**request, "predicate": "knn", "k": 0}, base
+            )
+        with pytest.raises(BadRequestError, match="unknown join fields"):
+            _join_config_from_payload({**request, "epsilo": 0.1}, base)
+        if not NUMBA_AVAILABLE:
+            with pytest.raises(BadRequestError, match="numba"):
+                _join_config_from_payload(
+                    {**request, "kernels": "numba"}, base
+                )
+
+
+class TestCli:
+    @pytest.fixture()
+    def wkt_paths(self, tmp_path):
+        rel_a, rel_b = _relations(49, n_objects=12)
+        path_a, path_b = tmp_path / "a.wkt", tmp_path / "b.wkt"
+        save_relation(rel_a, path_a)
+        save_relation(rel_b, path_b)
+        return str(path_a), str(path_b)
+
+    def test_distance_predicate(self, wkt_paths, capsys):
+        path_a, path_b = wkt_paths
+        rc = cli_main([
+            "join", path_a, path_b, "--predicate", "distance",
+            "--epsilon", "0.2", "--kernels", "python",
+        ])
+        assert rc == 0
+        assert "distance (eps=0.2) join:" in capsys.readouterr().out
+
+    def test_knn_predicate(self, wkt_paths, capsys):
+        path_a, path_b = wkt_paths
+        rc = cli_main([
+            "join", path_a, path_b, "--predicate", "knn", "--k", "2",
+        ])
+        assert rc == 0
+        assert "knn (k=2) join:" in capsys.readouterr().out
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="needs numba to be absent")
+    def test_numba_unavailable_is_clean_error(self, wkt_paths, capsys):
+        path_a, path_b = wkt_paths
+        rc = cli_main(["join", path_a, path_b, "--kernels", "numba"])
+        assert rc == 2
+        assert "numba is not importable" in capsys.readouterr().err
+
+
+class TestCanonicalKernels:
+    def test_kernels_listed_execution_only(self):
+        assert "kernels" in EXECUTION_ONLY_FIELDS
+
+    def test_all_backends_share_one_fingerprint(self):
+        fingerprints = {
+            JoinConfig(kernels=name).fingerprint()
+            for name in KERNEL_BACKENDS
+            if name != "numba" or NUMBA_AVAILABLE
+        }
+        assert len(fingerprints) == 1

@@ -50,6 +50,8 @@ CONFIGS = [
     JoinConfig(exact_method="vectorized", exact_batch=64),
     JoinConfig(engine="batched", exact_method="planesweep", grid=(2, 3)),
     JoinConfig(partitioner="rtree"),
+    JoinConfig(predicate="distance", epsilon=0.05),
+    JoinConfig(predicate="knn", k=2),
 ]
 
 #: execution-only variety: must coalesce/cache with the plain default.
@@ -57,6 +59,7 @@ EXECUTION_VARIANTS = [
     JoinConfig(workers=2),
     JoinConfig(scheduler="stealing", workers=2),
     JoinConfig(columnar=False),
+    JoinConfig(kernels="python"),
 ]
 
 
@@ -448,11 +451,30 @@ class TestConfigCanonicalization:
             JoinConfig(grid=(2, 2)),
             JoinConfig(partitioner="rtree"),
             JoinConfig(rtree_max_entries=8),
+            JoinConfig(predicate="distance", epsilon=0.25),
+            JoinConfig(predicate="distance", epsilon=0.5),
+            JoinConfig(predicate="knn", k=3),
         ):
             fingerprint = variant.fingerprint()
             assert fingerprint != base.fingerprint()
             fingerprints.add(fingerprint)
-        assert len(fingerprints) == 7  # all pairwise distinct
+        assert len(fingerprints) == 10  # all pairwise distinct
+
+    def test_kernels_field_is_execution_only(self):
+        """The kernel backend can never split the result cache: configs
+        differing only in ``kernels`` share one canonical fingerprint."""
+        from repro.core.join import EXECUTION_ONLY_FIELDS
+
+        assert "kernels" in EXECUTION_ONLY_FIELDS
+        base = JoinConfig(kernels="numpy")
+        for backend in ("auto", "python"):
+            variant = JoinConfig(kernels=backend)
+            assert variant.canonical_key() == base.canonical_key()
+            assert variant.fingerprint() == base.fingerprint()
+        # ...while the proximity parameters (result-affecting) are not
+        # stripped even though they arrived in the same change.
+        assert JoinConfig(epsilon=0.1).fingerprint() != base.fingerprint()
+        assert JoinConfig(k=4).fingerprint() != base.fingerprint()
 
     def test_session_field_is_execution_only(self):
         from repro.core.session import JoinSession
