@@ -12,12 +12,13 @@
 #   make bench-session - warm-session reuse + scheduler benchmark, quick scale
 #   make bench-tree    - grid vs tree-guided task formation benchmark, quick scale
 #   make bench-service - concurrent join-service benchmark, quick scale
+#   make bench-proximity - parallel distance/kNN join benchmark, quick scale
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: test test-fast test-parallel serve-smoke bench-engine bench-parallel \
 	bench-columnar bench-refine bench-kernels bench-session bench-tree \
-	bench-service
+	bench-service bench-proximity
 
 test:
 	$(PYTEST) -x -q
@@ -54,3 +55,6 @@ bench-tree:
 
 bench-service:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_service.py
+
+bench-proximity:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_proximity.py

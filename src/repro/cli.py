@@ -233,6 +233,12 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                              "traversal with space-filling-curve "
                              "declustering (results are identical either "
                              "way)")
+    parser.add_argument("--target-tasks", type=int, default=64,
+                        help="task budget for --partitioner rtree: the "
+                             "synchronized traversal descends until roughly "
+                             "this many tree-guided tasks exist (>= 1, "
+                             "default 64); inert for --partitioner grid, "
+                             "which is sized by --grid")
     parser.add_argument("--columnar", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="use the relation-level columnar store: "
@@ -270,6 +276,7 @@ def _join_config(args: argparse.Namespace) -> JoinConfig:
         columnar=args.columnar,
         scheduler=args.scheduler,
         partitioner=args.partitioner,
+        target_tasks=args.target_tasks,
         grid=tuple(args.grid),
         **kernel_override,
     )

@@ -169,6 +169,14 @@ class JoinConfig:
     #: de-duplication and follow the data's clustering instead of a
     #: uniform grid (see :mod:`repro.core.partition`).
     partitioner: str = "grid"
+    #: task-count budget for the tree partitioner: the synchronized
+    #: R*-tree traversal stops descending once a node pair's candidate
+    #: volume falls under ``|A|*|B| / target_tasks``, so larger values
+    #: produce more, smaller tasks.  Result-affecting for
+    #: ``partitioner='rtree'`` (the decomposition shapes the partition
+    #: stats), inert for the grid strategy — included in the canonical
+    #: key unconditionally, like ``grid``.
+    target_tasks: int = 64
     #: partition grid ``(nx, ny)`` for the tile executor; validated
     #: here (integers, both >= 1) instead of deep inside
     #: ``plan_tile_indices``.
@@ -232,6 +240,17 @@ class JoinConfig:
             raise ValueError(
                 f"unknown partitioner {self.partitioner!r}; "
                 f"expected one of {PARTITIONERS}"
+            )
+        if not isinstance(self.target_tasks, int) or isinstance(
+            self.target_tasks, bool
+        ):
+            raise ValueError(
+                f"target_tasks must be an integer >= 1, got "
+                f"{self.target_tasks!r}"
+            )
+        if self.target_tasks < 1:
+            raise ValueError(
+                f"target_tasks must be >= 1, got {self.target_tasks}"
             )
         # Coerce list/sequence grids (e.g. from the CLI) to a tuple so
         # the config stays hashable and comparable.
@@ -342,6 +361,7 @@ class JoinConfig:
             self.batch_size,
             self.exact_batch,
             self.partitioner,
+            self.target_tasks,
             self.grid,
         )
 

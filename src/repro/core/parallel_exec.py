@@ -75,9 +75,25 @@ Either way the guarantees are the same:
   (``tests/test_parallel_exec_shm.py`` enforces it;
   :func:`live_shared_segments` exposes the tracking set).
 
+**Proximity predicates** (``predicate="distance"`` / ``"knn"``) ride
+the same machinery through ε-aware task plans
+(:meth:`~repro.core.partition.Partitioner.plan_proximity`): grid tasks
+replicate objects by their ε/2-expanded MBRs and workers apply the
+owning-task rule on the expanded MBRs *before any counter moves* (the
+drop lands in ``MultiStepStats.dedup_dropped``), so merged distance
+flow counters equal the plain serial pipeline's; tree tasks prune the
+synchronized traversal by rectangle distance and stay disjoint; kNN
+tasks carry disjoint left rows plus the right rows within each
+member's k-th-neighbour upper bound, and merged pairs are re-sorted to
+the serial left-relation order.  Only tiny joins — candidate volume
+below :data:`PROXIMITY_SERIAL_VOLUME`, a rule that never reads
+execution-only fields, keeping the service result cache coherent —
+route to the plain serial pipeline instead.
+
 ``tests/test_parallel_exec_equivalence.py`` is the differential suite
 that enforces the transparency guarantees across engines, predicates,
-and worker counts.
+and worker counts; ``tests/test_proximity_parallel_equivalence.py``
+extends them to the ε-aware proximity plans.
 """
 
 from __future__ import annotations
@@ -402,6 +418,22 @@ def _attach_segment(spec: SharedRelationSpec) -> shared_memory.SharedMemory:
 # ---------------------------------------------------------------------------
 
 
+#: candidate-volume floor below which proximity joins skip task
+#: formation and run the serial pipeline in-process: with fewer than
+#: this many ``|A| * |B|`` candidate pairs the ε-expansion bookkeeping
+#: costs more than the join.  Data-dependent only (never the worker
+#: count), so two requests with equal cache keys always route the same
+#: way — the service result-cache contract.
+PROXIMITY_SERIAL_VOLUME = 64
+
+
+def _proximity_runs_serial(
+    relation_a: SpatialRelation, relation_b: SpatialRelation
+) -> bool:
+    """Tiny-relation fallback for the proximity predicates."""
+    return len(relation_a) * len(relation_b) < PROXIMITY_SERIAL_VOLUME
+
+
 def _partition_plan(
     relation_a: SpatialRelation,
     relation_b: SpatialRelation,
@@ -409,7 +441,11 @@ def _partition_plan(
     config: JoinConfig,
 ) -> PartitionPlan:
     """Run the configured tile-formation strategy (grid or rtree)."""
-    strategy = create_partitioner(config.partitioner)
+    strategy = create_partitioner(
+        config.partitioner, target_tasks=config.target_tasks
+    )
+    if config.predicate in ("distance", "knn"):
+        return strategy.plan_proximity(relation_a, relation_b, grid, config)
     return strategy.plan(relation_a, relation_b, grid)
 
 
@@ -610,6 +646,51 @@ def _finish_tile(task, rel_a, rel_b, start: float, refinement=None) -> TileOutco
     )
 
 
+def _finish_proximity_tile(task, rel_a, rel_b, start: float) -> TileOutcome:
+    """Task-local proximity join (both wire formats, both predicates).
+
+    Runs the per-task proximity pipeline directly (the serial
+    :class:`SpatialJoinProcessor` proximity branch with the executor's
+    deduplication hook).  For ε-expanded *grid* distance tasks
+    (``task.space``/``task.grid`` set) the owning-task rule runs on the
+    ε/2-**expanded** MBRs — the frame the replication used — and runs
+    *before* any counter moves, so each global candidate is processed
+    by exactly one task and the merged flow statistics equal the serial
+    pipeline's; non-owned replicas only count into
+    ``stats.dedup_dropped``.  Tree-guided distance tasks and every kNN
+    task are disjoint by construction and need no hook.
+    """
+    from .proximity import distance_join_pipeline, knn_join_pipeline
+
+    config = replace(task.config, workers=1, columnar=False)
+    stats = MultiStepStats()
+    if config.predicate == "distance":
+        owns = None
+        if task.grid is not None:
+            space = Rect(*task.space)
+            nx, ny = task.grid
+            half = config.epsilon / 2.0
+            tile = task.tile
+
+            def owns(obj_a: SpatialObject, obj_b: SpatialObject) -> bool:
+                return owning_tile(
+                    obj_a.mbr.expand(half), obj_b.mbr.expand(half),
+                    space, nx, ny,
+                ) == tile
+
+        pairs = list(
+            distance_join_pipeline(rel_a, rel_b, config, stats, owns=owns)
+        )
+    else:
+        pairs = list(knn_join_pipeline(rel_a, rel_b, config, stats))
+    return TileOutcome(
+        tile=task.tile,
+        id_pairs=[(obj_a.oid, obj_b.oid) for obj_a, obj_b in pairs],
+        stats=stats,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
 def run_tile_task(task: TileTask) -> TileOutcome:
     """Execute one pickled-slice tile task (runs inside a worker).
 
@@ -620,6 +701,8 @@ def run_tile_task(task: TileTask) -> TileOutcome:
     start = time.perf_counter()
     rel_a = _materialise(task.name_a, task.objects_a)
     rel_b = _materialise(task.name_b, task.objects_b)
+    if task.config.predicate in ("distance", "knn"):
+        return _finish_proximity_tile(task, rel_a, rel_b, start)
     return _finish_tile(task, rel_a, rel_b, start)
 
 
@@ -630,9 +713,15 @@ def run_columnar_tile_task(task: ColumnarTileTask) -> TileOutcome:
     relation slices reach the worker differs.  With batched refinement
     configured (``exact_batch > 1``) the segments stay mapped through
     the join so the exact step consumes the shipped ring columns
-    directly.
+    directly.  Proximity tasks run their own bound cascade — batched
+    refinement is the intersection join's exact step, so they bypass it
+    exactly as the serial proximity pipelines do.
     """
     start = time.perf_counter()
+    if task.config.predicate in ("distance", "knn"):
+        rel_a = _materialise_columnar(task.spec_a, task.idx_a)
+        rel_b = _materialise_columnar(task.spec_b, task.idx_b)
+        return _finish_proximity_tile(task, rel_a, rel_b, start)
     if task.config.exact_batch > 1:
         return _run_columnar_tile_refined(task, start)
     rel_a = _materialise_columnar(task.spec_a, task.idx_a)
@@ -994,12 +1083,19 @@ def parallel_partitioned_join(
     if wire_config.kernels != resolved_kernels:
         wire_config = replace(wire_config, kernels=resolved_kernels)
 
-    if config.predicate in ("distance", "knn"):
-        # Proximity predicates do not decompose into independent MBR
-        # tiles: an ε-distance pair can straddle tiles without any MBR
-        # overlap, and a kNN result is a global per-object ordering.
-        # Both run the dedicated serial pipeline (repro.core.proximity)
-        # and report themselves as a single in-process task.
+    if config.predicate in ("distance", "knn") and _proximity_runs_serial(
+        relation_a, relation_b
+    ):
+        # Tiny-relation fallback: below PROXIMITY_SERIAL_VOLUME
+        # candidate pairs the ε-aware task formation costs more than
+        # the join itself, so both proximity predicates run the
+        # dedicated serial pipeline (repro.core.proximity) as a single
+        # in-process task.  The routing predicate depends only on the
+        # relations — never on the worker count — so configs that
+        # differ only in execution fields still produce byte-identical
+        # results (the service cache contract).  Everything larger
+        # flows through the ε-expanded partition plan below, with
+        # workers=1 executing the same tasks in-process.
         start = time.perf_counter()
         serial = SpatialJoinProcessor(
             replace(wire_config, workers=1)
@@ -1086,6 +1182,16 @@ def parallel_partitioned_join(
             (by_id_a[oid_a], by_id_b[oid_b])
             for oid_a, oid_b in outcome.id_pairs
         )
+    if config.predicate == "knn":
+        # Tasks partition the left relation, so the task-key fold
+        # groups neighbour lists by task; the serial pipeline emits
+        # left objects in relation order.  A stable re-sort by left
+        # position restores it exactly (each left object's whole top-k
+        # comes from one task, already in ascending (distance, oid)
+        # order), making the merged output byte-identical to the
+        # serial pipeline's.
+        position = {obj.oid: i for i, obj in enumerate(relation_a)}
+        pairs.sort(key=lambda pair: position[pair[0].oid])
     if session is not None:
         session._note_join()
     return ParallelPartitionedJoinResult(

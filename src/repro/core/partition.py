@@ -232,7 +232,9 @@ def tile_rects(space: Rect, nx: int, ny: int) -> Dict[Tuple[int, int], Rect]:
 
 
 def assign_tile_indices(
-    mbrs: np.ndarray, tiles: Dict[Tuple[int, int], Rect]
+    mbrs: np.ndarray,
+    tiles: Dict[Tuple[int, int], Rect],
+    expand: float = 0.0,
 ) -> Dict[Tuple[int, int], np.ndarray]:
     """Replication as index arrays: rows of ``mbrs`` per intersected tile.
 
@@ -241,12 +243,23 @@ def assign_tile_indices(
     rectangles), so membership can never diverge from the scalar rule
     that :func:`owning_tile` relies on.  Index arrays are ascending,
     i.e. objects keep their relation order inside every tile.
+
+    ``expand`` grows every MBR by that amount on each side before the
+    intersection masks (the ε/2 expansion of distance-join task
+    formation) — the same subtractions/additions :meth:`Rect.expand`
+    performs, so the vectorized masks agree bit-for-bit with the scalar
+    expanded-ownership rule the workers apply.
     """
     out: Dict[Tuple[int, int], np.ndarray] = {}
     if len(mbrs) == 0:
         empty = np.empty(0, dtype=np.intp)
         return {key: empty for key in tiles}
     xmin, ymin, xmax, ymax = mbrs.T
+    if expand:
+        xmin = xmin - expand
+        ymin = ymin - expand
+        xmax = xmax + expand
+        ymax = ymax + expand
     for key, tile in tiles.items():
         mask = (
             (xmin <= tile.xmax)
@@ -311,6 +324,70 @@ def owning_tile(
     ix = int((inter.xmin - space.xmin) / space.width * nx) if space.width else 0
     iy = int((inter.ymin - space.ymin) / space.height * ny) if space.height else 0
     return (min(nx - 1, max(0, ix)), min(ny - 1, max(0, iy)))
+
+
+def _owning_cells(
+    mbrs: np.ndarray, space: Rect, nx: int, ny: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Disjoint owner tile per row: the cell of the MBR's lower-left.
+
+    Every MBR corner lies inside ``space`` (the joint bounding box), so
+    the raw cell index is non-negative; the upper clamp folds the
+    ``xmin == space.xmax`` edge into the last column, mirroring
+    :func:`owning_tile`.  Used by kNN task formation, where *any*
+    deterministic disjoint assignment of left objects is correct.
+    """
+    n = len(mbrs)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if space.width:
+        cell_x = (
+            (mbrs[:, 0] - space.xmin) / space.width * nx
+        ).astype(np.int64)
+    else:
+        cell_x = np.zeros(n, dtype=np.int64)
+    if space.height:
+        cell_y = (
+            (mbrs[:, 1] - space.ymin) / space.height * ny
+        ).astype(np.int64)
+    else:
+        cell_y = np.zeros(n, dtype=np.int64)
+    return (
+        np.clip(cell_x, 0, nx - 1),
+        np.clip(cell_y, 0, ny - 1),
+    )
+
+
+def _probe_rows(
+    mbrs_a: np.ndarray,
+    bounds: np.ndarray,
+    idx_a: np.ndarray,
+    mbrs_b: np.ndarray,
+) -> np.ndarray:
+    """Right rows a kNN task must probe: MBRs inside the task's bbox.
+
+    The probe bounding box is the union of each member's MBR expanded
+    by its per-object bound ``d_k(a)`` — a superset of the union of the
+    per-object probe regions, so coverage is preserved (extra rows only
+    add work; each left object's exact top-k filters them out).  An
+    ``inf`` bound (``k >= |B|``) makes the box unbounded and selects
+    every right row.
+    """
+    if idx_a.size == 0 or len(mbrs_b) == 0:
+        return np.empty(0, dtype=np.intp)
+    d = bounds[idx_a]
+    box_xmin = np.min(mbrs_a[idx_a, 0] - d)
+    box_ymin = np.min(mbrs_a[idx_a, 1] - d)
+    box_xmax = np.max(mbrs_a[idx_a, 2] + d)
+    box_ymax = np.max(mbrs_a[idx_a, 3] + d)
+    mask = (
+        (mbrs_b[:, 0] <= box_xmax)
+        & (box_xmin <= mbrs_b[:, 2])
+        & (mbrs_b[:, 1] <= box_ymax)
+        & (box_ymin <= mbrs_b[:, 3])
+    )
+    return np.nonzero(mask)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -384,6 +461,46 @@ class Partitioner(ABC):
     ) -> PartitionPlan:
         """Decompose the join (``grid`` is the grid strategy's shape)."""
 
+    @abstractmethod
+    def plan_proximity(
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        grid: Tuple[int, int],
+        config: JoinConfig,
+    ) -> PartitionPlan:
+        """ε-aware decomposition for the proximity predicates.
+
+        The MBR-overlap plans of :meth:`plan` lose qualifying pairs for
+        ``predicate='distance'``/``'knn'``: an ε-near pair can straddle
+        tiles without any MBR overlap.  This variant grows every task's
+        probe region so each qualifying pair is covered by at least one
+        task:
+
+        * ``distance`` — probe regions grow by ε.  A pair with exact
+          distance ≤ ε has MBR gap ≤ ε on both axes, so the two ε/2-
+          expanded MBRs intersect — any decomposition that co-locates
+          expanded-MBR-overlapping objects covers the pair.  Where
+          expansion replicates border objects into several tasks (the
+          grid), the plan carries the ``space``/``grid`` frame and
+          workers apply the owning-task rule *on the expanded MBRs*
+          before any counter moves; tree-guided tasks stay disjoint and
+          need no deduplication.
+        * ``knn`` — left objects are partitioned disjointly; each
+          task's right rows are every MBR within the task's probe
+          bounding box, the union of each member's MBR expanded by its
+          :func:`~repro.core.proximity.knn_probe_bounds` k-th-neighbour
+          upper bound ``d_k(a)`` (any right object in ``a``'s result
+          satisfies ``rect_distance ≤ exact ≤ d_k(a)``).  Right-side
+          replication is invisible in the result: each left object's
+          top-k is computed whole inside its one owning task.
+
+        The plan depends only on the relations and the canonical config
+        (ε, k, partitioner shape) — never on worker count, scheduler,
+        or wire format — so merged results stay byte-identical across
+        every execution configuration.
+        """
+
 
 class GridPartitioner(Partitioner):
     """Uniform-grid tiles with reference-tile de-duplication (PBSM-style).
@@ -404,6 +521,59 @@ class GridPartitioner(Partitioner):
         space, entries = plan_tile_indices(relation_a, relation_b, grid)
         return PartitionPlan(
             partitioner=self.name, space=space, grid=grid, entries=entries
+        )
+
+    def plan_proximity(
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        grid: Tuple[int, int],
+        config: JoinConfig,
+    ) -> PartitionPlan:
+        nx, ny = grid
+        space = joint_space(relation_a, relation_b)
+        tiles = tile_rects(space, nx, ny)
+        if config.predicate == "distance":
+            # ε/2-expanded replication: both members of any qualifying
+            # pair land together in the tile owning the expanded-MBR
+            # intersection's reference point, so the worker-side
+            # expanded owning-tile rule sees every candidate exactly
+            # once across tasks.
+            half = config.epsilon / 2.0
+            indices_a = assign_tile_indices(
+                relation_a.columnar().mbrs, tiles, expand=half
+            )
+            indices_b = assign_tile_indices(
+                relation_b.columnar().mbrs, tiles, expand=half
+            )
+            entries = [
+                (key, indices_a[key], indices_b[key]) for key in tiles
+            ]
+            return PartitionPlan(
+                partitioner=self.name, space=space, grid=grid,
+                entries=entries,
+            )
+        # knn: disjoint left partition (each object owned by the tile
+        # of its MBR's lower-left corner), right rows replicated by the
+        # per-object probe bound.  No dedup frame: each left object's
+        # top-k is produced whole by its one task.
+        from .proximity import knn_probe_bounds
+
+        bounds = knn_probe_bounds(
+            relation_a, relation_b, config.k, config.rtree_max_entries
+        )
+        mbrs_a = relation_a.columnar().mbrs
+        mbrs_b = relation_b.columnar().mbrs
+        cell_x, cell_y = _owning_cells(mbrs_a, space, nx, ny)
+        entries = []
+        for key in tiles:
+            idx_a = np.nonzero(
+                (cell_x == key[0]) & (cell_y == key[1])
+            )[0]
+            idx_b = _probe_rows(mbrs_a, bounds, idx_a, mbrs_b)
+            entries.append((key, idx_a, idx_b))
+        return PartitionPlan(
+            partitioner=self.name, space=None, grid=None, entries=entries
         )
 
 
@@ -468,20 +638,56 @@ class TreePartitioner(Partitioner):
         tree_a = relation_a.columnar().partition_tree(self.max_entries)
         tree_b = relation_b.columnar().partition_tree(self.max_entries)
         budget = max(1, -(-(n_a * n_b) // self.target_tasks))
+        tasks = self._synchronized_tasks(tree_a, tree_b, budget)
+        entries = [
+            ((ordinal, -1), rows_a, rows_b)
+            for ordinal, (_, rows_a, rows_b) in enumerate(tasks)
+        ]
+        self._decluster(entries, [region for region, _, _ in tasks])
+        return PartitionPlan(
+            partitioner=self.name, space=None, grid=None, entries=entries
+        )
+
+    def _synchronized_tasks(
+        self, tree_a, tree_b, budget: int, epsilon: float = 0.0
+    ) -> List[Tuple[Rect, np.ndarray, np.ndarray]]:
+        """The budgeted synchronized traversal, ε-aware when asked.
+
+        ``epsilon == 0`` is the historical MBR-overlap traversal
+        (``rect_distance == 0`` is exactly :meth:`Rect.intersects`, and
+        the emitted region is the node-MBR intersection).  ``epsilon >
+        0`` keeps node pairs whose MBR gap is at most ε — node MBRs
+        contain their members' MBRs, so the node gap lower-bounds every
+        member pair's gap, and pruned pairs can contain no candidate of
+        the ε-distance join — and emits the intersection of the two
+        ε/2-expanded node MBRs as the task region (non-empty whenever
+        the gap is ≤ ε on both axes).  Either way each traversal step
+        partitions a node pair's candidate space among child pairs, so
+        tasks stay **disjoint**: no replication, no owning-task filter.
+        """
+        from .distance import rect_distance
+
+        half = epsilon / 2.0
         rows_cache: Dict[int, np.ndarray] = {}
         tasks: List[Tuple[Rect, np.ndarray, np.ndarray]] = []
         stack = [(tree_a.root, tree_b.root)]
         while stack:
             node_a, node_b = stack.pop()
-            inter = node_a.mbr().intersection(node_b.mbr())
-            if inter is None:
+            if rect_distance(node_a.mbr(), node_b.mbr()) > epsilon:
                 continue
             rows_a = _subtree_rows(node_a, rows_cache)
             rows_b = _subtree_rows(node_b, rows_cache)
             if (node_a.is_leaf and node_b.is_leaf) or (
                 rows_a.size * rows_b.size <= budget
             ):
-                tasks.append((inter, rows_a, rows_b))
+                region = (
+                    node_a.mbr().expand(half).intersection(
+                        node_b.mbr().expand(half)
+                    )
+                    if half
+                    else node_a.mbr().intersection(node_b.mbr())
+                )
+                tasks.append((region, rows_a, rows_b))
                 continue
             # Descend the taller tree (leaves pinned), reverse order so
             # the LIFO stack visits children in tree order — the task
@@ -490,17 +696,76 @@ class TreePartitioner(Partitioner):
                 node_b.is_leaf or node_a.level >= node_b.level
             ):
                 for child in reversed(node_a.children):
-                    if child.mbr().intersects(node_b.mbr()):
+                    if rect_distance(child.mbr(), node_b.mbr()) <= epsilon:
                         stack.append((child, node_b))
             else:
                 for child in reversed(node_b.children):
-                    if child.mbr().intersects(node_a.mbr()):
+                    if rect_distance(node_a.mbr(), child.mbr()) <= epsilon:
                         stack.append((node_a, child))
+        return tasks
+
+    def plan_proximity(
+        self,
+        relation_a: SpatialRelation,
+        relation_b: SpatialRelation,
+        grid: Tuple[int, int],
+        config: JoinConfig,
+    ) -> PartitionPlan:
+        del grid  # the grid shape belongs to the grid strategy
+        n_a, n_b = len(relation_a), len(relation_b)
+        if n_a == 0 or n_b == 0:
+            return PartitionPlan(
+                partitioner=self.name, space=None, grid=None, entries=[]
+            )
+        if config.predicate == "distance":
+            tree_a = relation_a.columnar().partition_tree(self.max_entries)
+            tree_b = relation_b.columnar().partition_tree(self.max_entries)
+            budget = max(1, -(-(n_a * n_b) // self.target_tasks))
+            tasks = self._synchronized_tasks(
+                tree_a, tree_b, budget, epsilon=config.epsilon
+            )
+            entries = [
+                ((ordinal, -1), rows_a, rows_b)
+                for ordinal, (_, rows_a, rows_b) in enumerate(tasks)
+            ]
+            self._decluster(entries, [region for region, _, _ in tasks])
+            return PartitionPlan(
+                partitioner=self.name, space=None, grid=None,
+                entries=entries,
+            )
+        # knn: the left tree alone is descended to a row budget — its
+        # subtrees partition the left relation disjointly and follow
+        # the data's clustering — and each task's right rows come from
+        # the probe bounding box of its members' d_k(a)-expanded MBRs.
+        from .proximity import knn_probe_bounds
+
+        bounds = knn_probe_bounds(
+            relation_a, relation_b, config.k, config.rtree_max_entries
+        )
+        mbrs_a = relation_a.columnar().mbrs
+        mbrs_b = relation_b.columnar().mbrs
+        tree_a = relation_a.columnar().partition_tree(self.max_entries)
+        row_budget = max(1, -(-n_a // self.target_tasks))
+        rows_cache: Dict[int, np.ndarray] = {}
+        subtrees: List[Tuple[Rect, np.ndarray]] = []
+        stack = [tree_a.root]
+        while stack:
+            node = stack.pop()
+            rows = _subtree_rows(node, rows_cache)
+            if node.is_leaf or rows.size <= row_budget:
+                subtrees.append((node.mbr(), rows))
+                continue
+            for child in reversed(node.children):
+                stack.append(child)
         entries = [
-            ((ordinal, -1), rows_a, rows_b)
-            for ordinal, (_, rows_a, rows_b) in enumerate(tasks)
+            (
+                (ordinal, -1),
+                rows,
+                _probe_rows(mbrs_a, bounds, rows, mbrs_b),
+            )
+            for ordinal, (_, rows) in enumerate(subtrees)
         ]
-        self._decluster(entries, [inter for inter, _, _ in tasks])
+        self._decluster(entries, [mbr for mbr, _ in subtrees])
         return PartitionPlan(
             partitioner=self.name, space=None, grid=None, entries=entries
         )
@@ -554,11 +819,17 @@ def _subtree_rows(node, cache: Dict[int, np.ndarray]) -> np.ndarray:
     return rows
 
 
-def create_partitioner(name: str) -> Partitioner:
-    """Instantiate the strategy selected by ``JoinConfig.partitioner``."""
-    for cls in (GridPartitioner, TreePartitioner):
-        if name == cls.name:
-            return cls()
+def create_partitioner(name: str, target_tasks: int = 64) -> Partitioner:
+    """Instantiate the strategy selected by ``JoinConfig.partitioner``.
+
+    ``target_tasks`` is the tree strategy's budget knob
+    (``JoinConfig.target_tasks``, CLI ``--target-tasks``); the grid
+    strategy has no use for it.
+    """
+    if name == GridPartitioner.name:
+        return GridPartitioner()
+    if name == TreePartitioner.name:
+        return TreePartitioner(target_tasks=target_tasks)
     raise ValueError(
         f"unknown partitioner {name!r}; expected one of {PARTITIONERS}"
     )

@@ -25,17 +25,25 @@ Stats mapping (the Figure-1 invariants hold for both predicates):
   exact step (``remaining == candidate_pairs``), the emitted ``k``
   nearest are exact hits and the rest exact false hits.
 
-Neither predicate decomposes into independent MBR tiles (an ε-near
+Neither predicate decomposes into independent *MBR* tiles (an ε-near
 pair can straddle tiles without MBR overlap; a kNN result is a global
-per-object ordering), so the partitioned executor routes both through
-this serial pipeline — see ``parallel_exec.parallel_partitioned_join``.
+per-object ordering), but both decompose under ε-aware task formation
+(:meth:`repro.core.partition.Partitioner.plan_proximity`): distance
+tasks grow every probe region by ε — grid tiles collect each object
+whose ε/2-expanded MBR touches them, replicated border candidates
+deduplicated by the owning-task rule (the ``owns`` hook below, applied
+*before* any counter moves so merged flow statistics equal the serial
+pipeline's) — and kNN tasks bound each left object's probe radius with
+the :func:`knn_probe_bounds` k-th-neighbour pass.  Tiny relations
+still run these pipelines serially — see
+``parallel_exec.parallel_partitioned_join``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -120,12 +128,23 @@ def distance_join_pipeline(
     relation_b: SpatialRelation,
     config: JoinConfig,
     stats: MultiStepStats,
+    owns: Optional[Callable[[SpatialObject, SpatialObject], bool]] = None,
 ) -> Iterator[Pair]:
     """All pairs with exact distance <= ``config.epsilon``, multi-step.
 
     Pair order is the expanded MBR-join's candidate order — identical
     to :func:`repro.core.distance.within_distance_join` on the same
     relations and ε, and identical across kernel backends.
+
+    ``owns`` is the parallel executor's deduplication hook: an
+    ε-expanded grid task replicates border objects into every tile
+    their expanded MBR touches, so the same candidate surfaces in
+    several tasks.  The hook runs *first*, before the Euclidean
+    pre-test and before any counter moves — a non-owned candidate only
+    increments ``stats.dedup_dropped`` — so each global candidate is
+    processed (and counted) by exactly one task and the merged flow
+    statistics equal the serial pipeline's.  ``None`` (serial, and
+    disjoint tree-guided tasks) owns everything.
     """
     epsilon = config.epsilon
     kernels = dispatcher_for(config.kernels, stats)
@@ -141,6 +160,9 @@ def distance_join_pipeline(
     # flow conservation (`mbr_join.output_pairs == candidate_pairs`).
     raw = JoinStats()
     for obj_a, obj_b in rstar_join(tree_a, tree_b, None, None, raw):
+        if owns is not None and not owns(obj_a, obj_b):
+            stats.dedup_dropped += 1
+            continue
         stats.mbr_join.mbr_tests += 1  # the Euclidean MBR pre-test
         if rect_distance(obj_a.mbr, obj_b.mbr) > epsilon:
             continue
@@ -271,6 +293,82 @@ def knn_join_pipeline(
         stats.exact_false_hits += computed - len(emitted)
         for _, _, obj_b in emitted:
             yield (obj_a, obj_b)
+
+
+def rect_max_distance(a, b) -> float:
+    """Maximum distance between any point of rect ``a`` and any of ``b``.
+
+    Upper-bounds the exact distance of any two polygons contained in
+    the rectangles (the exact distance is a *minimum* over point pairs,
+    each of which is at most this).  The per-axis maximum separation is
+    ``max(a.max - b.min, b.max - a.min)`` — non-negative whenever both
+    rectangles are non-empty.
+    """
+    dx = max(a.xmax - b.xmin, b.xmax - a.xmin)
+    dy = max(a.ymax - b.ymin, b.ymax - a.ymin)
+    return float(np.hypot(max(dx, 0.0), max(dy, 0.0)))
+
+
+def knn_probe_bounds(
+    relation_a: SpatialRelation,
+    relation_b: SpatialRelation,
+    k: int,
+    max_entries: int,
+) -> np.ndarray:
+    """Per-left-object probe radius for parallel kNN task formation.
+
+    For each left object ``a`` returns ``d_k(a)``: the k-th smallest
+    :func:`rect_max_distance` from ``a``'s MBR to the right relation's
+    MBRs, found by a cheap serial best-first pass over the right
+    relation's bulk-loaded R*-tree (``partition_tree``) — node MINDIST
+    lower-bounds every member's max-distance, so subtrees that cannot
+    improve the current k-th best are pruned without visiting them.
+
+    ``d_k(a)`` upper-bounds the exact distance of ``a``'s k-th nearest
+    neighbour: at least ``k`` right objects have exact distance
+    ``<= rect_max_distance <= d_k(a)``.  Therefore every right object
+    that can appear in ``a``'s result satisfies
+    ``rect_distance(mbr_a, mbr_b) <= exact <= d_k(a)`` — i.e. its MBR
+    intersects ``mbr_a`` expanded by ``d_k(a)`` — which is exactly the
+    replication rule :meth:`Partitioner.plan_proximity` applies.
+
+    ``k >= |B|`` disables the bound (``inf``: every right object
+    qualifies, so every task probes the whole right relation).
+    """
+    bounds = np.full(len(relation_a), np.inf, dtype=np.float64)
+    n_b = len(relation_b)
+    if n_b == 0 or k >= n_b or len(relation_a) == 0:
+        return bounds
+    tree_b = relation_b.columnar().partition_tree(max_entries)
+    for row, obj_a in enumerate(relation_a):
+        mbr_a = obj_a.mbr
+        tiebreak = itertools.count()
+        heap = [(0.0, next(tiebreak), tree_b.root)]
+        # max-heap of the k smallest max-distances seen so far.
+        worst: List[float] = []
+        while heap:
+            mindist, _, node = heapq.heappop(heap)
+            if len(worst) == k and mindist > -worst[0]:
+                break  # no pending subtree can improve the k-th best
+            if node.is_leaf:
+                for entry in node.entries:
+                    top = rect_max_distance(mbr_a, entry.rect)
+                    if len(worst) < k:
+                        heapq.heappush(worst, -top)
+                    elif top < -worst[0]:
+                        heapq.heapreplace(worst, -top)
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (
+                            rect_distance(mbr_a, child.mbr()),
+                            next(tiebreak),
+                            child,
+                        ),
+                    )
+        bounds[row] = -worst[0]
+    return bounds
 
 
 def brute_force_knn_join(

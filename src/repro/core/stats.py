@@ -43,6 +43,17 @@ class MultiStepStats:
     refine_batch_pairs: int = 0     # candidates resolved through a batch
     refine_fallback_pairs: int = 0  # batch members resolved by scalar code
 
+    #: replicated border pairs a parallel proximity task saw but did
+    #: not own (the ε-expanded grid assignment replicates objects into
+    #: every tile their expanded MBR touches; the owning-task rule lets
+    #: exactly one task process each candidate, and the others count the
+    #: drop here *before* any flow counter moves).  Execution telemetry
+    #: only — the serial pipeline never replicates, so the counter is
+    #: excluded from equality (``compare=False``); it merges as a plain
+    #: sum, so ``dedup_dropped + candidate_pairs`` accounts for every
+    #: candidate instance any task examined.
+    dedup_dropped: int = field(default=0, compare=False)
+
     #: per-backend kernel telemetry, keyed ``"<backend>.<kernel>"``
     #: (``repro.geometry.kernels.KernelDispatcher``).  Execution
     #: diagnostics only: excluded from equality (``compare=False``) and
@@ -144,6 +155,7 @@ class MultiStepStats:
         self.refine_batches += other.refine_batches
         self.refine_batch_pairs += other.refine_batch_pairs
         self.refine_fallback_pairs += other.refine_fallback_pairs
+        self.dedup_dropped += other.dedup_dropped
         for key, calls in other.kernel_calls.items():
             self.kernel_calls[key] = self.kernel_calls.get(key, 0) + calls
         for key, pairs in other.kernel_pairs.items():

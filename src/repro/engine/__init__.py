@@ -147,10 +147,35 @@ Proximity predicates — distance and kNN joins on the same runtime
     the multi-step stopping rule.  Both report ordinary
     :class:`~repro.core.stats.MultiStepStats` (the Figure-1 invariants
     hold) and flow through the CLI (``join --predicate distance
-    --epsilon 0.05``), sessions, and the join service unchanged; the
-    partitioned executor routes them through a serial pipeline because
-    neither decomposes into independent MBR tiles (see
-    :mod:`repro.core.proximity`).
+    --epsilon 0.05``), sessions, and the join service unchanged.
+
+    Both predicates also scale across the worker pool via **ε-aware
+    task formation** (:meth:`~repro.core.partition.Partitioner.plan_proximity`).
+    A distance join's qualifying pair can straddle tile borders by up
+    to ε, so the grid strategy assigns each object to every tile its
+    ε/2-expanded MBR touches (two objects within ε always share at
+    least one expanded tile) and workers drop replicated candidates
+    whose expanded-MBR intersection is owned by another tile *before
+    any statistics counter moves* — merged Figure-1 flow counters
+    equal the serial pipeline's exactly, with the replication overhead
+    visible only in ``MultiStepStats.dedup_dropped``.  The tree
+    strategy instead prunes the synchronized R*-tree traversal with
+    ``rect_distance(mbr_a, mbr_b) > ε`` (disjoint tasks, no
+    replication).  kNN decomposes by partitioning the left relation
+    disjointly and giving each task the right rows within a cheap
+    serial upper bound on every member's k-th-neighbour distance
+    (k-th smallest MBR max-distance, best-first over the R*-tree);
+    merged pairs are re-sorted into the serial pipeline's exact
+    left-relation order.  Results at any worker count are
+    byte-identical to the workers=1 run of the same plan
+    (``tests/test_proximity_parallel_equivalence.py``).  Only tiny
+    joins (candidate volume below
+    ``repro.core.parallel_exec.PROXIMITY_SERIAL_VOLUME``) still route
+    to the serial pipeline — a plan there costs more than the join —
+    and that routing never depends on execution-only fields, so the
+    service result cache stays coherent (see
+    :mod:`repro.core.proximity`; ``make bench-proximity`` writes the
+    throughput table and ``BENCH_proximity.json``).
 
 Parallel execution — model and reality
     Both engines describe how *one* process drains the candidate
@@ -204,7 +229,10 @@ Tile formation — uniform grid vs tree-guided partitioning
     overlapping node pair — two row-index sets — so the tasks
     partition the candidate-pair space **disjointly** (no replicated
     exact work, no ownership filter), and a hot cluster splits into
-    as many tasks as its volume warrants.  Hilbert declustering (§6
+    as many tasks as its volume warrants.  The traversal budget is
+    ``JoinConfig(target_tasks=N)`` (CLI ``--target-tasks``, service
+    field ``target_tasks``): the descent stops once roughly ``N``
+    tasks exist, trading dispatch overhead against balance.  Hilbert declustering (§6
     outlook; ``TreePartitioner(decluster="zorder")`` for the z-order
     curve) orders tasks so spatially adjacent work lands on different
     workers.  Both partitioners emit the same

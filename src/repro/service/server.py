@@ -65,6 +65,7 @@ _JOIN_FIELDS = {
     "workers": "workers",
     "scheduler": "scheduler",
     "partitioner": "partitioner",
+    "target_tasks": "target_tasks",
     "columnar": "columnar",
     "kernels": "kernels",
 }

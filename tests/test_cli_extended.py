@@ -183,6 +183,41 @@ class TestJoinWorkers:
             main(["join", path_a, path_b, "--workers", "2",
                   "--scheduler", "chaotic"])
 
+    def test_bad_target_tasks_rejected(self, wkt_pair, capsys):
+        path_a, path_b = wkt_pair
+        for bad in ("0", "-4"):
+            assert main(
+                ["join", path_a, path_b, "--workers", "2",
+                 "--partitioner", "rtree", "--target-tasks", bad]
+            ) == 2
+            err = capsys.readouterr().err
+            assert "target_tasks" in err
+
+    def test_non_numeric_target_tasks_rejected(self, wkt_pair):
+        path_a, path_b = wkt_pair
+        with pytest.raises(SystemExit):
+            main(["join", path_a, path_b, "--target-tasks", "lots"])
+
+    @pytest.mark.parallel
+    def test_target_tasks_budget_matches_serial(self, wkt_pair, capsys):
+        """A tiny tree budget changes the decomposition, never the
+        pairs."""
+        path_a, path_b = wkt_pair
+
+        def pair_lines(out):
+            return sorted(l for l in out.splitlines() if "\t" in l)
+
+        main(["join", path_a, path_b, "--exact", "vectorized", "--pairs"])
+        serial = pair_lines(capsys.readouterr().out)
+        assert main(
+            ["join", path_a, path_b, "--exact", "vectorized", "--pairs",
+             "--workers", "2", "--partitioner", "rtree",
+             "--target-tasks", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tree-guided tasks (rtree)" in out
+        assert pair_lines(out) == serial
+
     @pytest.mark.parallel
     def test_stealing_scheduler_matches_serial(self, wkt_pair, capsys):
         path_a, path_b = wkt_pair

@@ -181,6 +181,39 @@ def test_partitioner_registry_consistent_with_factory():
         create_partitioner("voronoi")
 
 
+class TestTargetTasksValidation:
+    """``target_tasks`` — the tree partitioner's task budget — is
+    validated at the config boundary like every other knob."""
+
+    @pytest.mark.parametrize("bad", (0, -1, -64))
+    def test_below_one_rejected(self, bad):
+        with pytest.raises(ValueError, match="target_tasks"):
+            JoinConfig(target_tasks=bad)
+
+    @pytest.mark.parametrize("bad", (1.5, "8", True, None))
+    def test_non_integers_rejected(self, bad):
+        with pytest.raises(ValueError, match="target_tasks"):
+            JoinConfig(target_tasks=bad)
+
+    def test_valid_budgets_accepted(self):
+        assert JoinConfig().target_tasks == 64
+        assert JoinConfig(target_tasks=1).target_tasks == 1
+        assert JoinConfig(target_tasks=500).target_tasks == 500
+
+    def test_budget_reaches_tree_partitioner(self):
+        from repro.core import create_partitioner
+
+        assert create_partitioner("rtree", target_tasks=7).target_tasks == 7
+
+    def test_in_canonical_key(self):
+        """The budget shapes rtree task plans, hence result telemetry —
+        it must split service cache entries."""
+        assert (
+            JoinConfig(target_tasks=8).canonical_key()
+            != JoinConfig(target_tasks=64).canonical_key()
+        )
+
+
 class TestEpsilonValidation:
     """``validate_epsilon`` guards the distance-join boundary."""
 

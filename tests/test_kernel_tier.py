@@ -14,7 +14,8 @@ Four contracts, end to end:
    on the warm-event log, not on elapsed time).
 4. **Proximity predicates** — ``distance`` and ``knn`` joins match
    their nested-loops oracles through the processor, the parallel
-   executor (serial routing), the service payload parser, and the CLI.
+   executor (ε-aware tasks for real workloads, serial routing for tiny
+   ones), the service payload parser, and the CLI.
 """
 
 from __future__ import annotations
@@ -259,10 +260,36 @@ class TestDistanceJoin:
         assert len(result) > 0  # epsilon=0.25 finds neighbours
         result.stats.check_invariants()
 
-    def test_parallel_executor_routes_serial(self):
-        """Proximity pairs can straddle tile boundaries, so the
-        partitioned executor must fall back to one serial join."""
+    def test_parallel_executor_runs_epsilon_aware_tasks(self):
+        """Real workloads take the ε-aware parallel path: objects are
+        replicated into every tile their ε/2-expanded MBR touches, the
+        owning-task rule deduplicates, and the merged result matches
+        the plain serial pipeline pair-for-pair."""
         rel_a, rel_b = _relations(46)
+        config = JoinConfig(predicate="distance", epsilon=0.2, workers=3,
+                            grid=(3, 3))
+        parallel = parallel_partitioned_join(rel_a, rel_b, config=config)
+        serial = SpatialJoinProcessor(
+            replace(config, workers=1)
+        ).join(rel_a, rel_b)
+        assert parallel.wire_format == "columnar-shm"
+        assert parallel.workers == 3
+        assert parallel.tile_tasks > 0
+        assert sorted(parallel.id_pairs()) == sorted(serial.id_pairs())
+        # The flow counters (every Figure-1 stage) match the serial
+        # pipeline exactly — dedup runs before any counter moves.
+        assert parallel.stats.candidate_pairs == serial.stats.candidate_pairs
+        assert parallel.stats.exact_hits == serial.stats.exact_hits
+        assert (
+            parallel.stats.remaining_candidates
+            == serial.stats.remaining_candidates
+        )
+        parallel.stats.check_invariants()
+
+    def test_tiny_relations_still_route_serial(self):
+        """Below the candidate-volume floor a task plan costs more than
+        the join itself; the executor runs the ordinary serial join."""
+        rel_a, rel_b = _relations(46, n_objects=4)  # 16 < 64 volume
         config = JoinConfig(predicate="distance", epsilon=0.2, workers=3,
                             grid=(3, 3))
         parallel = parallel_partitioned_join(rel_a, rel_b, config=config)
@@ -287,7 +314,10 @@ class TestKnnJoin:
         assert len(result) == len(list(rel_a)) * min(k, len(list(rel_b)))
         result.stats.check_invariants()
 
-    def test_session_join_routes_serial(self):
+    def test_session_join_runs_parallel_knn(self):
+        """kNN through a session engages the partitioned executor and
+        reproduces the serial pipeline's pairs in the exact same
+        left-relation order."""
         rel_a, rel_b = _relations(48)
         config = JoinConfig(predicate="knn", k=2, workers=2)
         with JoinSession(config=config) as session:
@@ -296,7 +326,8 @@ class TestKnnJoin:
         serial = SpatialJoinProcessor(
             replace(config, workers=1)
         ).join(rel_a, rel_b)
-        assert inside.wire_format == "serial"
+        assert inside.wire_format == "columnar-shm"
+        assert inside.tile_tasks > 0
         assert list(inside.id_pairs()) == serial.id_pairs()
 
 
@@ -317,6 +348,10 @@ class TestServicePayload:
         )
         assert config.predicate == "knn"
         assert config.k == 3
+        config = _join_config_from_payload(
+            {**request, "partitioner": "rtree", "target_tasks": 12}, base
+        )
+        assert config.target_tasks == 12
 
     def test_invalid_values_are_boundary_errors(self):
         base = JoinConfig()
@@ -327,6 +362,8 @@ class TestServicePayload:
             _join_config_from_payload(
                 {**request, "predicate": "knn", "k": 0}, base
             )
+        with pytest.raises(BadRequestError, match="target_tasks"):
+            _join_config_from_payload({**request, "target_tasks": 0}, base)
         with pytest.raises(BadRequestError, match="unknown join fields"):
             _join_config_from_payload({**request, "epsilo": 0.1}, base)
         if not NUMBA_AVAILABLE:
