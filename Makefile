@@ -13,12 +13,13 @@
 #   make bench-tree    - grid vs tree-guided task formation benchmark, quick scale
 #   make bench-service - concurrent join-service benchmark, quick scale
 #   make bench-proximity - parallel distance/kNN join benchmark, quick scale
+#   make bench-store   - persistent-store warm-start benchmark, quick scale
 
 PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: test test-fast test-parallel serve-smoke bench-engine bench-parallel \
 	bench-columnar bench-refine bench-kernels bench-session bench-tree \
-	bench-service bench-proximity
+	bench-service bench-proximity bench-store
 
 test:
 	$(PYTEST) -x -q
@@ -58,3 +59,6 @@ bench-service:
 
 bench-proximity:
 	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_proximity.py
+
+bench-store:
+	REPRO_BENCH_SCALE=quick $(PYTEST) -q benchmarks/bench_store.py

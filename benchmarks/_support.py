@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -68,6 +69,21 @@ class BenchReport:
         print("\n" + body)
         path = self.directory / f"{experiment_id.replace(' ', '_').lower()}.txt"
         path.write_text(body + "\n")
+
+    def json_artifact(self, name: str, payload: Dict) -> Path:
+        """Write the machine-readable ``BENCH_<name>.json`` artifact.
+
+        The standard envelope every bench module shares (the text
+        tables are for humans; CI and trend tooling consume these):
+        the benchmark's payload dict plus the scale it ran at.
+        ``name`` is the short benchmark id (``store``, ``kernels``, …).
+        """
+        document = {"benchmark": name, "scale": scale_profile().name}
+        document.update(payload)
+        path = self.directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote {path}")
+        return path
 
     def flush_summary(self) -> None:
         if not self._tables:

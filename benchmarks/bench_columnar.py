@@ -83,6 +83,19 @@ def test_columnar_wire_format_bytes(series_cache, report):
         ],
     )
 
+    report.json_artifact(
+        "columnar",
+        {
+            "grid": list(GRID),
+            "tile_tasks": len(legacy_tasks),
+            "legacy_pickled_bytes": legacy_bytes,
+            "columnar_pickled_bytes": columnar_pickled,
+            "columnar_shared_payload_bytes": payload,
+            "pickled_ratio": pickled_ratio,
+            "total_ratio": total_ratio,
+        },
+    )
+
     assert pickled_ratio >= 2.0, (
         f"columnar wire format must cut serialized bytes >= 2x, got "
         f"{pickled_ratio:.2f}x"
@@ -153,6 +166,17 @@ def test_columnar_repack_savings(series_cache, report, monkeypatch):
             " (columnar packs once per (relation, kind); the sweep's later",
             "  joins are pure array gathers)",
         ],
+    )
+
+    report.json_artifact(
+        "columnar_repack",
+        {
+            "sweep_configs": len(sweep),
+            "legacy_registrations": counts[False],
+            "legacy_seconds": seconds[False],
+            "columnar_registrations": counts[True],
+            "columnar_seconds": seconds[True],
+        },
     )
 
     assert counts[True] < counts[False], (

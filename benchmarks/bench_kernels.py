@@ -182,6 +182,7 @@ def test_kernel_backends_pairs_per_second(series_cache, report):
         f"{ALT_BACKEND:>12} {'speedup':>8}",
     ]
     speedups = {}
+    rows = {}
     for kernel_name, n_pairs, run in workloads:
         oracle_set = get_kernels("numpy")
         alt_set = get_kernels(ALT_BACKEND)
@@ -194,6 +195,12 @@ def test_kernel_backends_pairs_per_second(series_cache, report):
         numpy_rate = n_pairs / max(numpy_seconds, 1e-9)
         alt_rate = n_pairs / max(alt_seconds, 1e-9)
         speedups[kernel_name] = alt_rate / max(numpy_rate, 1e-9)
+        rows[kernel_name] = {
+            "pairs": n_pairs,
+            "numpy_pairs_per_sec": numpy_rate,
+            "alt_pairs_per_sec": alt_rate,
+            "speedup": speedups[kernel_name],
+        }
         lines.append(
             f" {kernel_name:<28} {n_pairs:>9} {numpy_rate:>10.2e}/s "
             f"{alt_rate:>10.2e}/s {speedups[kernel_name]:>7.2f}x"
@@ -203,6 +210,14 @@ def test_kernel_backends_pairs_per_second(series_cache, report):
         "Kernels",
         f"bulk kernel throughput: numpy vs {ALT_BACKEND}",
         lines,
+    )
+    report.json_artifact(
+        "kernels",
+        {
+            "alt_backend": ALT_BACKEND,
+            "numba_available": NUMBA_AVAILABLE,
+            "kernels": rows,
+        },
     )
 
     if NUMBA_AVAILABLE:

@@ -190,3 +190,29 @@ def test_service_throughput_and_result_cache(report, scale):
     report.table(
         "Service", "join-service concurrency + result cache", lines
     )
+    report.json_artifact(
+        "service",
+        {
+            "workload_requests": len(workload),
+            "distinct_joins": n_distinct,
+            "sessions": SESSIONS,
+            "runs": [
+                {
+                    "clients": n_clients,
+                    "state": state,
+                    "wall_seconds": wall,
+                    "requests_per_second": len(lats) / wall,
+                    "latency_avg_seconds": sum(lats) / len(lats),
+                    "latency_max_seconds": max(lats),
+                    "executed_requests": tel["executed_requests"],
+                    "coalesced_requests": tel["coalesced_requests"],
+                    "result_cache_hits": tel["result_cache_hits"],
+                }
+                for n_clients, cold, cold_tel, warm, warm_tel in rows
+                for state, (wall, lats, _), tel in (
+                    ("cold", cold, cold_tel),
+                    ("warm", warm, warm_tel),
+                )
+            ],
+        },
+    )

@@ -13,7 +13,23 @@ Commands
 ``distance``  — within-distance join of two WKT relations
 ``knn``       — k nearest objects to a point
 ``estimate``  — pre-execution join cost/selectivity estimate ([Gün 93])
+``store``     — manage a persistent columnar relation store
+                (``pack``/``ls``/``rm``)
 ``serve``     — long-lived join service over a pool of sessions
+
+``store`` manages a :class:`~repro.datasets.store.RelationStore`
+directory: ``pack`` parses WKT once and persists each relation's packed
+columns as mmap-able pages keyed by content fingerprint; ``ls`` and
+``rm`` inspect and prune.  ``join``/``join-batch``/``serve`` accept
+``--store-dir`` and ``store:<fingerprint>`` relation references, which
+skip WKT parsing entirely — and ``join-batch --store-dir`` warms the
+session's shared-segment cache straight from the store pages before
+the first join (the restart-recovery fast path)::
+
+    python -m repro store pack ./store europe.wkt b.wkt
+    python -m repro store ls ./store
+    python -m repro join-batch store:<fp_a> store:<fp_b> \
+        --store-dir ./store --workers 4
 
 ``serve`` starts the concurrent front-end of :mod:`repro.service`: a
 JSON-lines-over-TCP endpoint multiplexing many simultaneous
@@ -125,6 +141,25 @@ def _build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("relation_a", help="WKT file (left relation)")
     estimate.add_argument("relation_b", help="WKT file (right relation)")
 
+    store = sub.add_parser(
+        "store",
+        help="manage a persistent columnar relation store "
+             "(mmap-able pages keyed by content fingerprint)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    pack = store_sub.add_parser(
+        "pack", help="pack WKT relations into the store"
+    )
+    pack.add_argument("store_dir", help="store directory (created if missing)")
+    pack.add_argument("relations", nargs="+", metavar="WKT",
+                      help="WKT files to pack")
+    ls = store_sub.add_parser("ls", help="list stored relations")
+    ls.add_argument("store_dir", help="store directory")
+    rm = store_sub.add_parser("rm", help="remove stored relations")
+    rm.add_argument("store_dir", help="store directory")
+    rm.add_argument("fingerprints", nargs="+", metavar="FINGERPRINT",
+                    help="fingerprints to remove (as shown by 'store ls')")
+
     serve = sub.add_parser(
         "serve",
         help="long-lived JSON-over-TCP join service "
@@ -161,13 +196,27 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--grid", nargs=2, type=int, default=(4, 4),
                        metavar=("NX", "NY"),
                        help="default partition grid (default 4 4)")
+    serve.add_argument("--store-dir", default=None,
+                       help="persistent relation store backing "
+                            "'store:<fingerprint>' relation references "
+                            "and the 'warm' op (default: no store)")
     return parser
 
 
 def _add_join_options(parser: argparse.ArgumentParser) -> None:
     """The options shared by ``join`` and ``join-batch``."""
-    parser.add_argument("relation_a", help="WKT file (left relation)")
-    parser.add_argument("relation_b", help="WKT file (right relation)")
+    parser.add_argument("relation_a",
+                        help="WKT file or store:<fingerprint> reference "
+                             "(left relation)")
+    parser.add_argument("relation_b",
+                        help="WKT file or store:<fingerprint> reference "
+                             "(right relation)")
+    parser.add_argument("--store-dir", default=None,
+                        help="persistent relation store resolving "
+                             "store:<fingerprint> references; join-batch "
+                             "additionally warms the session's segment "
+                             "cache from the store pages before the first "
+                             "join")
     parser.add_argument("--predicate",
                         choices=("intersects", "within", "distance", "knn"),
                         default="intersects",
@@ -286,6 +335,37 @@ def _none_or(value: str) -> Optional[str]:
     return None if value.lower() in ("none", "-", "") else value
 
 
+def _open_store(store_dir: Optional[str]):
+    """The command's RelationStore, or None when no --store-dir given."""
+    if store_dir is None:
+        return None
+    from .datasets.store import RelationStore
+
+    return RelationStore(store_dir)
+
+
+def _resolve_relation(ref: str, store) -> SpatialRelation:
+    """Load a relation argument: WKT path or ``store:<fingerprint>``.
+
+    Store references materialise from the store's mmap pages — no WKT
+    parsing, no re-packing, fingerprint trusted from the manifest.
+    Raises ``ValueError`` (caught at each command boundary) for a store
+    reference without ``--store-dir`` or an unknown/corrupted entry.
+    """
+    if not ref.startswith("store:"):
+        return load_relation(ref)
+    if store is None:
+        raise ValueError(
+            f"relation reference {ref!r} needs --store-dir"
+        )
+    from .datasets.store import StoreError
+
+    try:
+        return store.load_relation(ref[len("store:"):])
+    except StoreError as exc:
+        raise ValueError(str(exc)) from exc
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     polygons = cartographic_polygons(
         n_objects=args.objects,
@@ -318,9 +398,10 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_join(args: argparse.Namespace) -> int:
-    rel_a = load_relation(args.relation_a)
-    rel_b = load_relation(args.relation_b)
     try:
+        store = _open_store(args.store_dir)
+        rel_a = _resolve_relation(args.relation_a, store)
+        rel_b = _resolve_relation(args.relation_b, store)
         config = _join_config(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -375,9 +456,10 @@ def cmd_join(args: argparse.Namespace) -> int:
 def cmd_join_batch(args: argparse.Namespace) -> int:
     from .core.session import JoinSession
 
-    rel_a = load_relation(args.relation_a)
-    rel_b = load_relation(args.relation_b)
     try:
+        store = _open_store(args.store_dir)
+        rel_a = _resolve_relation(args.relation_a, store)
+        rel_b = _resolve_relation(args.relation_b, store)
         config = _join_config(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -394,6 +476,28 @@ def cmd_join_batch(args: argparse.Namespace) -> int:
     latencies = []
     baseline = None
     with JoinSession(config=config) as session:
+        if store is not None:
+            # Warm-start: stream whichever of the two relations the
+            # store holds straight into the segment cache, so even the
+            # first join reuses cached segments (0 new shared bytes).
+            stored = [
+                fingerprint
+                for fingerprint in {
+                    rel_a.columnar().fingerprint,
+                    rel_b.columnar().fingerprint,
+                }
+                if fingerprint in store
+            ]
+            if stored:
+                report = session.warm_from_store(store, sorted(stored))
+                loaded = sum(
+                    1 for v in report.values() if v == "loaded"
+                )
+                print(
+                    f"  warmed {loaded} shared segments from store "
+                    f"pages ({session.store_load_bytes} bytes, "
+                    f"I/O-parallel)"
+                )
         for i in range(args.repeat):
             result = session.join(rel_a, rel_b)
             latencies.append(result.elapsed_seconds)
@@ -524,6 +628,55 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    from .datasets.store import RelationStore, StoreError
+
+    store = RelationStore(args.store_dir)
+    if args.store_command == "pack":
+        for path in args.relations:
+            try:
+                relation = load_relation(path)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot load {path!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+            fingerprint = store.save(relation)
+            stored = store.load(fingerprint)
+            print(
+                f"packed {path}: {relation.name} "
+                f"({len(relation)} objects, {stored.nbytes} page bytes) "
+                f"-> {fingerprint}"
+            )
+        return 0
+    if args.store_command == "ls":
+        fingerprints = store.fingerprints()
+        if not fingerprints:
+            print(f"store {store.directory}: empty")
+            return 0
+        print(f"store {store.directory}: {len(fingerprints)} relations")
+        for fingerprint in fingerprints:
+            try:
+                stored = store.load(fingerprint)
+            except StoreError as exc:
+                print(f"  {fingerprint}  CORRUPTED: {exc}")
+                continue
+            print(
+                f"  {fingerprint}  {stored.name}  "
+                f"objects={stored.n_objects}  bytes={stored.nbytes}"
+            )
+        return 0
+    # rm
+    status = 0
+    for fingerprint in args.fingerprints:
+        if store.remove(fingerprint):
+            print(f"removed {fingerprint}")
+        else:
+            print(f"error: {fingerprint} is not in store "
+                  f"{store.directory}", file=sys.stderr)
+            status = 2
+    return status
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -545,6 +698,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_pending=args.max_pending,
             result_cache_entries=args.result_cache,
             request_timeout=args.request_timeout,
+            store_dir=args.store_dir,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -580,6 +734,7 @@ _COMMANDS = {
     "distance": cmd_distance,
     "knn": cmd_knn,
     "estimate": cmd_estimate,
+    "store": cmd_store,
     "serve": cmd_serve,
 }
 

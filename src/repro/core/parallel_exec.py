@@ -282,6 +282,33 @@ def _segment_size(n_objects: int, n_rings: int, n_points: int) -> int:
     return 8 * ((n_objects) + (n_objects + 1) + (n_rings + 1) + 2 * n_points)
 
 
+def segment_column_layout(
+    n_objects: int, n_rings: int, n_points: int
+) -> List[Tuple[str, int, int]]:
+    """``(column, byte_offset, nbytes)`` of each ring column in a segment.
+
+    The byte-level description of :func:`_column_views`'s layout, in
+    segment order.  The persistent store writes its ring pages with
+    exactly these dtypes and extents
+    (:data:`repro.datasets.store.RING_COLUMNS`), so a warm loader can
+    stream each page file straight into its slice of the segment buffer
+    — no numpy round trip, no re-packing
+    (:meth:`repro.core.session.JoinSession.warm_from_store`).
+    """
+    sizes = (
+        ("oids", 8 * n_objects),
+        ("object_rings", 8 * (n_objects + 1)),
+        ("ring_offsets", 8 * (n_rings + 1)),
+        ("ring_xy", 16 * n_points),
+    )
+    layout: List[Tuple[str, int, int]] = []
+    offset = 0
+    for name, nbytes in sizes:
+        layout.append((name, offset, nbytes))
+        offset += nbytes
+    return layout
+
+
 class SharedRelationSegment:
     """One relation's packed ring columns in one shared-memory segment.
 
@@ -326,6 +353,50 @@ class SharedRelationSegment:
         except BaseException:
             self.close()
             raise
+
+    @classmethod
+    def allocate(
+        cls,
+        relation_name: str,
+        fingerprint: str,
+        n_objects: int,
+        n_rings: int,
+        n_points: int,
+    ) -> "SharedRelationSegment":
+        """An uninitialised segment of the right size, ready to be filled.
+
+        The store warm-up path: the caller streams the relation's ring
+        pages into :attr:`buf` at the :func:`segment_column_layout`
+        offsets (byte-identical to what :meth:`__init__` would have
+        copied from a packed :class:`~repro.datasets.columnar.RingColumns`)
+        before handing the segment to any consumer.  Lifecycle is
+        identical to a packed segment: tracked in
+        :func:`live_shared_segments`, unlinked by :meth:`close`.
+        """
+        segment = cls.__new__(cls)
+        segment.fingerprint = fingerprint
+        segment._shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(8, _segment_size(n_objects, n_rings, n_points)),
+        )
+        _LIVE_SEGMENTS.add(segment._shm.name)
+        segment.nbytes = segment._shm.size
+        segment.spec = SharedRelationSpec(
+            shm_name=segment._shm.name,
+            relation_name=relation_name,
+            n_objects=n_objects,
+            n_rings=n_rings,
+            n_points=n_points,
+            origin_pid=os.getpid(),
+        )
+        return segment
+
+    @property
+    def buf(self):
+        """The segment's raw buffer (fill target of the warm loader)."""
+        if self._shm is None:
+            raise RuntimeError("segment is closed")
+        return self._shm.buf
 
     @property
     def closed(self) -> bool:

@@ -67,9 +67,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..datasets.relations import SpatialRelation
 from .join import JoinConfig
@@ -79,6 +79,7 @@ from .parallel_exec import (
     _pool_context,
     _warm_worker_kernels,
     parallel_partitioned_join,
+    segment_column_layout,
 )
 
 
@@ -132,6 +133,31 @@ class SegmentLease:
                     leased[fingerprint] = count
             if fingerprints and not self._session.closed:
                 self._session._evict_to_bound()
+
+
+def _stream_page(job: Tuple[object, SharedRelationSegment, int, int]) -> None:
+    """Read one store page file into its slice of a shared segment.
+
+    One unit of the warm loader's I/O parallelism: ``readinto`` drops
+    the GIL while the kernel fills the shared-memory slice, so a small
+    thread pool genuinely overlaps page reads.  The exported buffer
+    view is released before returning — segment teardown must never
+    trip over a dangling export (``BufferError``).
+    """
+    from ..datasets.store import StoreCorruptionError
+
+    path, segment, offset, nbytes = job
+    view = memoryview(segment.buf)[offset:offset + nbytes]
+    try:
+        with open(path, "rb", buffering=0) as page:
+            read = page.readinto(view)
+        if read != nbytes:
+            raise StoreCorruptionError(
+                f"short read from store page {path}: got {read} of "
+                f"{nbytes} bytes (page changed after validation?)"
+            )
+    finally:
+        view.release()
 
 
 class JoinSession:
@@ -188,6 +214,10 @@ class JoinSession:
         self.segment_cache_misses = 0
         self.segment_cache_evictions = 0
         self.pools_created = 0
+        #: segments populated from persistent-store pages
+        #: (:meth:`warm_from_store`) and the bytes they streamed in.
+        self.store_loads = 0
+        self.store_load_bytes = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -346,6 +376,101 @@ class JoinSession:
         self._ensure_open()
         return SegmentLease(self, relations)
 
+    # -- persistent-store warm-up -------------------------------------------
+
+    def warm_from_store(
+        self,
+        store,
+        fingerprints: Optional[Iterable[str]] = None,
+        io_workers: int = 4,
+    ) -> Dict[str, str]:
+        """Populate the segment cache straight from persistent-store pages.
+
+        The cold-start shortcut: for every requested fingerprint not
+        already cached, an uninitialised shared segment is allocated
+        (:meth:`SharedRelationSegment.allocate`) and the relation's ring
+        pages from ``store`` (a
+        :class:`~repro.datasets.store.RelationStore`) are streamed
+        directly into its buffer — ``readinto`` on the raw page files,
+        no WKT parsing, no :func:`~repro.datasets.columnar.pack_rings`,
+        no digesting.  Page reads run concurrently on a small thread
+        pool (``io_workers``; ``readinto`` releases the GIL, so the
+        reads genuinely overlap), across columns *and* relations.
+
+        Returns ``{fingerprint: "loaded" | "cached"}``.  ``fingerprints``
+        defaults to everything in the store.  On any failure all freshly
+        allocated segments are unlinked and the cache is exactly as
+        before — a corrupted store warms nothing rather than something
+        wrong (the store validates manifests and page sizes up front,
+        and short reads fail here).
+
+        A later :meth:`join` whose relation content matches a warmed
+        fingerprint ships zero bytes: the lease finds the segment in the
+        cache (a ``segment_cache_hit``), exactly as if a previous join
+        had shipped it.  Warm loads are counted separately
+        (``store_loads`` / ``store_load_bytes``) so warm-start wins stay
+        observable in :meth:`stats`.
+        """
+        with self._lock:
+            self._ensure_open()
+            wanted = (
+                list(fingerprints)
+                if fingerprints is not None
+                else store.fingerprints()
+            )
+            report: Dict[str, str] = {}
+            fresh: "OrderedDict[str, SharedRelationSegment]" = OrderedDict()
+            jobs: List[Tuple[object, SharedRelationSegment, int, int]] = []
+            try:
+                for fingerprint in wanted:
+                    if fingerprint in report:
+                        continue
+                    if fingerprint in self._segments:
+                        self._segments.move_to_end(fingerprint)
+                        report[fingerprint] = "cached"
+                        continue
+                    stored = store.load(fingerprint)
+                    segment = SharedRelationSegment.allocate(
+                        stored.name,
+                        fingerprint,
+                        stored.n_objects,
+                        stored.n_rings,
+                        stored.n_points,
+                    )
+                    fresh[fingerprint] = segment
+                    report[fingerprint] = "loaded"
+                    pages = {
+                        page.column: page for page in stored.ring_pages()
+                    }
+                    # Page extents and segment slices both derive from
+                    # the manifest counts, so the mapping is exact.
+                    for column, offset, nbytes in segment_column_layout(
+                        stored.n_objects, stored.n_rings, stored.n_points
+                    ):
+                        jobs.append(
+                            (pages[column].path, segment, offset, nbytes)
+                        )
+                if len(jobs) > 1 and io_workers > 1:
+                    with ThreadPoolExecutor(
+                        max_workers=min(io_workers, len(jobs))
+                    ) as io_pool:
+                        # list() re-raises the first worker exception.
+                        list(io_pool.map(_stream_page, jobs))
+                else:
+                    for job in jobs:
+                        _stream_page(job)
+            except BaseException:
+                for fingerprint, segment in fresh.items():
+                    report.pop(fingerprint, None)
+                    segment.close()
+                raise
+            for fingerprint, segment in fresh.items():
+                self._segments[fingerprint] = segment
+                self.store_loads += 1
+                self.store_load_bytes += segment.nbytes
+            self._evict_to_bound(protect=frozenset(fresh))
+            return report
+
     def _acquire(
         self, relation: SpatialRelation, fingerprint: str
     ) -> Tuple[SharedRelationSegment, bool]:
@@ -420,6 +545,29 @@ class JoinSession:
     def cached_segment_bytes(self) -> int:
         """Total shared-memory bytes currently cached."""
         return sum(segment.nbytes for segment in self._segments.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative telemetry, one flat JSON-safe dict.
+
+        The observable record of warm-start wins: cache ``hits`` count
+        joins that shipped zero redundant bytes, ``store_loads`` /
+        ``store_load_bytes`` count segments streamed from persistent
+        store pages (:meth:`warm_from_store`), ``evictions`` count
+        byte-bound LRU victims.  The service status endpoint aggregates
+        these across its session pool.
+        """
+        with self._lock:
+            return {
+                "joins_run": self.joins_run,
+                "segment_cache_hits": self.segment_cache_hits,
+                "segment_cache_misses": self.segment_cache_misses,
+                "segment_cache_evictions": self.segment_cache_evictions,
+                "store_loads": self.store_loads,
+                "store_load_bytes": self.store_load_bytes,
+                "pools_created": self.pools_created,
+                "cached_relations": self.cached_relations,
+                "cached_segment_bytes": self.cached_segment_bytes,
+            }
 
     def _note_join(self) -> None:
         with self._lock:

@@ -1,6 +1,20 @@
 """Synthetic cartographic datasets and the paper's test series."""
 
-from .columnar import ColumnarRelation, RingColumns, pack_rings, unpack_polygon
+from .columnar import (
+    ColumnarRelation,
+    RingColumns,
+    pack_rings,
+    ring_fingerprint,
+    unpack_polygon,
+)
+from .store import (
+    PageFile,
+    RelationStore,
+    StoreCorruptionError,
+    StoredRelation,
+    StoreError,
+    StoreMissError,
+)
 from .generators import (
     DATA_SPACE,
     cartographic_polygons,
@@ -26,10 +40,17 @@ __all__ = [
     "ColumnarRelation",
     "DATA_SPACE",
     "EUROPE_PROFILE",
+    "PageFile",
+    "RelationStore",
     "RingColumns",
     "SpatialObject",
     "SpatialRelation",
+    "StoreCorruptionError",
+    "StoreError",
+    "StoreMissError",
+    "StoredRelation",
     "pack_rings",
+    "ring_fingerprint",
     "unpack_polygon",
     "TestSeries",
     "bw",

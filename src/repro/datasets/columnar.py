@@ -90,6 +90,24 @@ def pack_rings(
     return RingColumns(oids, object_rings, ring_offsets, ring_xy)
 
 
+def ring_fingerprint(name: str, n_objects: int, columns: RingColumns) -> str:
+    """Blake2b content digest over a relation's packed ring columns.
+
+    The single fingerprint definition shared by the in-memory store
+    (:attr:`ColumnarRelation.fingerprint`) and the persistent store
+    (:mod:`repro.datasets.store`, which re-derives it from disk pages to
+    verify integrity): relation name, object count, then each ring
+    column's contiguous bytes — exactly the bytes a shared-memory
+    segment carries.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(name.encode("utf-8"))
+    digest.update(int(n_objects).to_bytes(8, "little"))
+    for column in columns:
+        digest.update(np.ascontiguousarray(column).tobytes())
+    return digest.hexdigest()
+
+
 def unpack_polygon(columns: RingColumns, index: int) -> Polygon:
     """Rebuild object ``index``'s polygon from packed ring columns.
 
@@ -171,13 +189,46 @@ class ColumnarRelation:
         fingerprint.
         """
         if self._fingerprint is None:
-            digest = hashlib.blake2b(digest_size=16)
-            digest.update(self.name.encode("utf-8"))
-            digest.update(len(self.objects).to_bytes(8, "little"))
-            for column in self.rings:
-                digest.update(np.ascontiguousarray(column).tobytes())
-            self._fingerprint = digest.hexdigest()
+            self._fingerprint = ring_fingerprint(
+                self.name, len(self.objects), self.rings
+            )
         return self._fingerprint
+
+    @classmethod
+    def from_stored(
+        cls,
+        relation: "SpatialRelation",
+        *,
+        mbrs: np.ndarray,
+        areas: np.ndarray,
+        rings: RingColumns,
+        fingerprint: str,
+    ) -> "ColumnarRelation":
+        """A store over ``relation`` seeded with already-packed columns.
+
+        The persistent store (:mod:`repro.datasets.store`) uses this to
+        reconstruct a relation's columnar representation straight from
+        its disk pages — zero re-packing: ``mbrs``/``areas``/``rings``
+        are installed verbatim (memmap-backed views are fine; every
+        consumer either reads or copies them) and ``fingerprint`` is
+        trusted from the manifest, so neither :func:`pack_rings` nor the
+        digest ever runs.  The caller guarantees the columns describe
+        ``relation.objects`` row for row — the store's round-trip tests
+        prove its pages do.
+        """
+        store = cls.__new__(cls)
+        store.name = relation.name
+        store._source = relation.objects
+        store.objects = list(relation.objects)
+        store.oids = np.ascontiguousarray(rings.oids)
+        store.mbrs = np.asarray(mbrs, dtype=np.float64).reshape(-1, 4)
+        store._areas = np.asarray(areas, dtype=np.float64)
+        store._rings = rings
+        store._fingerprint = fingerprint
+        store._approx = {}
+        store._partition_trees = {}
+        store.pack_counts = {}
+        return store
 
     def partition_tree(self, max_entries: int = 8):
         """A bulk-loaded R*-tree over the MBR column, items = row indices.

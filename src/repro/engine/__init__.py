@@ -291,6 +291,42 @@ Join sessions — amortising setup across repeated joins
     latency and the scheduler tradeoff on a skewed grid
     (``benchmarks/reports/session.txt``).
 
+The persistent storage tier — warm starts that survive restarts
+    Everything above amortises work *within* one process; the
+    persistent store (:mod:`repro.datasets.store`) amortises it across
+    process lifetimes.  ``RelationStore.save(relation)`` writes the
+    relation's packed columns — the four ring columns in exactly the
+    shared-segment interior layout, plus object MBRs and areas — as
+    raw little-endian page files under a content-addressed directory
+    (``<store_dir>/<fingerprint>/`` with a JSON manifest carrying
+    dtype/shape/nbytes per column and a format version), and
+    ``load()`` maps them back with ``np.memmap``: no WKT parsing, no
+    ring packing, no digesting — bytes fault in on access, and
+    ``load_relation()`` materialises live geometry with the columnar
+    cache pre-seeded from the pages.  Because the ring pages mirror
+    the segment layout, a restarted session warms its segment cache by
+    *streaming the files straight into shared memory*
+    (:meth:`~repro.core.session.JoinSession.warm_from_store`, an
+    I/O-parallel ``readinto`` loop over a thread pool — the GIL is
+    released for the copies), and a warmed service answers its first
+    join of a stored relation as a segment-cache hit.  The store front
+    doors: ``python -m repro store pack/ls/rm`` manages a store,
+    ``join``/``join-batch``/``serve`` accept ``--store-dir`` and
+    resolve ``store:<fingerprint>`` relation references through it,
+    and the server's ``{"op": "warm"}`` request warms every pooled
+    session (``{"op": "telemetry"}`` reports the pool-wide
+    segment-cache and store-load counters from
+    :meth:`JoinSession.stats`).  Corruption is a clean error, never a
+    wrong join: loads validate the manifest and page sizes
+    (:class:`~repro.datasets.store.StoreCorruptionError`),
+    ``StoredRelation.verify()`` re-digests page bytes on demand, and
+    the differential suite (``tests/test_store_equivalence.py``)
+    proves store-loaded joins byte-identical to object-built joins
+    across engines, partitioners, wire formats, and worker counts.
+    ``benchmarks/bench_store.py`` (``make bench-store``) gates the
+    point: cold-session warm-up from store pages must beat re-packing
+    by ≥ 3x (``benchmarks/reports/BENCH_store.json``).
+
 The join service — many concurrent clients, few sessions
     One session serves one caller at a time; the concurrent front-end
     is :class:`repro.service.JoinService` (package :mod:`repro.service`),
@@ -321,6 +357,13 @@ Choosing the parallel executor from the CLI::
     python -m repro join a.wkt b.wkt --workers 4 --no-columnar  # legacy wire
     python -m repro join-batch a.wkt b.wkt --repeat 5 --workers 4  # session
     python -m repro serve --port 8765 --sessions 2 --workers 2  # service
+
+and the persistent store::
+
+    python -m repro store pack ./pages a.wkt b.wkt   # pack columns once
+    python -m repro store ls ./pages
+    python -m repro join store:<fp_a> store:<fp_b> --store-dir ./pages
+    python -m repro serve --port 8765 --store-dir ./pages  # warm op enabled
 """
 
 from .base import (

@@ -49,6 +49,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.join import JoinConfig
 from ..core.session import JoinSession
 from ..core.window import WindowQueryProcessor, WindowQueryStats
+from ..datasets.store import RelationStore
 from ..index.knn import knn_query, validate_k
 from .api import (
     BadRequestError,
@@ -165,6 +166,7 @@ class JoinService:
         result_cache_entries: int = 256,
         request_timeout: Optional[float] = None,
         max_cache_bytes: Optional[int] = None,
+        store_dir: Optional[str] = None,
         execute_hook: Optional[Callable[[object], None]] = None,
     ):
         if max_pending < 1:
@@ -177,6 +179,11 @@ class JoinService:
         self.max_pending = max_pending
         self.result_cache_entries = result_cache_entries
         self.request_timeout = request_timeout
+        #: persistent relation store backing ``store:<fingerprint>``
+        #: relation references and session warm-up (None = no store).
+        self.store: Optional[RelationStore] = (
+            RelationStore(store_dir) if store_dir is not None else None
+        )
         self.telemetry = ServiceTelemetry()
         self._pool = SessionPool(
             sessions, config=self.config, max_cache_bytes=max_cache_bytes
@@ -236,6 +243,55 @@ class JoinService:
     @property
     def sessions(self) -> Tuple[JoinSession, ...]:
         return self._pool.sessions
+
+    # -- persistent store ---------------------------------------------------
+
+    def warm_sessions(
+        self, fingerprints: Optional[List[str]] = None
+    ) -> Dict[str, object]:
+        """Warm every pooled session's segment cache from the store.
+
+        The restart-recovery hook: after a cold start, one call streams
+        the stored relations' ring pages into each session's shared
+        segments (:meth:`JoinSession.warm_from_store`), so the first
+        join of any stored relation is already a segment-cache hit.
+        Synchronous and blocking — call it before serving traffic, or
+        through the server's ``warm`` op (which runs it off the event
+        loop).  ``fingerprints`` defaults to the whole store.
+
+        Raises :class:`BadRequestError` when no store is configured and
+        propagates store validation errors
+        (:class:`~repro.datasets.store.StoreError`) untouched — a
+        corrupted store warms nothing.
+        """
+        if self.store is None:
+            raise BadRequestError(
+                "no relation store configured (service store_dir / "
+                "serve --store-dir)"
+            )
+        loaded = cached = 0
+        warmed: List[str] = []
+        for session in self._pool.sessions:
+            report = session.warm_from_store(self.store, fingerprints)
+            loaded += sum(1 for v in report.values() if v == "loaded")
+            cached += sum(1 for v in report.values() if v == "cached")
+            warmed = sorted(report)
+        return {
+            "sessions": self._pool.size,
+            "segments_loaded": loaded,
+            "segments_cached": cached,
+            "fingerprints": warmed,
+        }
+
+    def session_stats(self) -> Dict[str, int]:
+        """Pool-wide session telemetry: the sum of every session's
+        :meth:`JoinSession.stats` (segment cache hits/misses/evictions,
+        store loads and bytes, pools forked, live cached segments)."""
+        totals: Dict[str, int] = {}
+        for session in self._pool.sessions:
+            for key, value in session.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # -- the front door -----------------------------------------------------
 

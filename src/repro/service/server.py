@@ -6,7 +6,12 @@ driven from any language (or ``nc``), no HTTP dependency.  Requests
 name relations by WKT file path; the server loads each path once and
 caches the relation (keyed by resolved path), so repeated requests pay
 neither the parse nor — thanks to the session segment cache underneath
-— the geometry re-ship.
+— the geometry re-ship.  With a persistent store configured
+(``serve --store-dir``), relations can instead be named by content
+fingerprint — ``"store:<fingerprint>"`` — which skips WKT entirely:
+the relation is materialised from the store's mmap pages, and a
+``warm`` op pre-populates every session's segment cache straight from
+those pages (:meth:`JoinService.warm_sessions`).
 
 Request shapes::
 
@@ -16,9 +21,12 @@ Request shapes::
     {"op": "join", "relation_a": "a.wkt", "relation_b": "b.wkt",
      "predicate": "distance", "epsilon": 0.05}     # or "knn" with "k"
     {"op": "join", ..., "kernels": "numba"}        # execution-only
+    {"op": "join", "relation_a": "store:<fp>",
+     "relation_b": "store:<fp>"}                   # by fingerprint
     {"op": "window", "relation": "a.wkt",
      "window": [xmin, ymin, xmax, ymax]}
     {"op": "knn", "relation": "a.wkt", "point": [x, y], "k": 5}
+    {"op": "warm"}                                  # or {"fingerprints": [...]}
     {"op": "telemetry"}
 
 Responses carry ``{"status": "ok", ...payload...}`` or
@@ -43,6 +51,7 @@ from ..core.filters import FilterConfig
 from ..core.join import JoinConfig
 from ..datasets.io import load_relation
 from ..datasets.relations import SpatialRelation
+from ..datasets.store import StoreError
 from ..geometry import Rect
 from .api import (
     BadRequestError,
@@ -186,14 +195,11 @@ class JoinServiceServer:
     async def _handle_line(self, line: bytes) -> Dict:
         try:
             request = self._parse(line)
-            if request is None:  # telemetry probe, no execution
-                return {
-                    "status": "ok",
-                    "op": "telemetry",
-                    "telemetry": self.service.telemetry.to_dict(),
-                    "queue_depth": self.service.queue_depth,
-                    "cached_results": self.service.cached_results,
-                }
+            if isinstance(request, dict):  # control op, no execution
+                op = request["op"]
+                if op == "telemetry":
+                    return self._telemetry_response()
+                return await self._warm_response(request)
             response = await self.service.submit(request)
         except ServiceError as exc:
             return {"status": "error", "code": exc.status, "error": str(exc)}
@@ -203,6 +209,54 @@ class JoinServiceServer:
         payload["status"] = "ok"
         return payload
 
+    def _telemetry_response(self) -> Dict:
+        """The status endpoint's payload: service counters plus the
+        pool-wide session stats (segment cache and store-load counters)
+        and, when configured, a summary of the backing store."""
+        store = self.service.store
+        return {
+            "status": "ok",
+            "op": "telemetry",
+            "telemetry": self.service.telemetry.to_dict(),
+            "queue_depth": self.service.queue_depth,
+            "cached_results": self.service.cached_results,
+            "sessions": self.service.session_stats(),
+            "store": (
+                None
+                if store is None
+                else {
+                    "dir": str(store.directory),
+                    "entries": len(store),
+                }
+            ),
+        }
+
+    async def _warm_response(self, payload: Dict) -> Dict:
+        """``{"op": "warm"}``: warm every session from the store.
+
+        Optional ``fingerprints`` restricts the warm set.  Runs on the
+        default executor so large page streams never stall the event
+        loop (sessions serialise internally, so warming a session that
+        is mid-join simply waits its turn).
+        """
+        fingerprints = payload.get("fingerprints")
+        if fingerprints is not None and (
+            not isinstance(fingerprints, list)
+            or not all(isinstance(f, str) for f in fingerprints)
+        ):
+            raise BadRequestError(
+                f"fingerprints must be a list of strings, "
+                f"got {fingerprints!r}"
+            )
+        unknown = set(payload) - {"op", "fingerprints"}
+        if unknown:
+            raise BadRequestError(f"unknown warm fields: {sorted(unknown)}")
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            None, self.service.warm_sessions, fingerprints
+        )
+        return {"status": "ok", "op": "warm", **report}
+
     def _parse(self, line: bytes):
         try:
             payload = json.loads(line)
@@ -211,8 +265,8 @@ class JoinServiceServer:
         if not isinstance(payload, dict):
             raise BadRequestError("request must be a JSON object")
         op = payload.get("op")
-        if op == "telemetry":
-            return None
+        if op in ("telemetry", "warm"):
+            return payload
         if op == "join":
             config = _join_config_from_payload(payload, self.service.config)
             return JoinRequest(
@@ -243,13 +297,16 @@ class JoinServiceServer:
                 k=payload.get("k", 5),
             )
         raise BadRequestError(
-            f"unknown op {op!r}; expected join, window, knn or telemetry"
+            f"unknown op {op!r}; expected join, window, knn, warm or "
+            "telemetry"
         )
 
     def _relation(self, payload: Dict, key: str) -> SpatialRelation:
         path = payload.get(key)
         if not isinstance(path, str) or not path:
             raise BadRequestError(f"missing relation path field {key!r}")
+        if path.startswith("store:"):
+            return self._store_relation(path)
         resolved = str(Path(path).resolve())
         relation = self._relations.get(resolved)
         if relation is None:
@@ -260,6 +317,33 @@ class JoinServiceServer:
                     f"cannot load relation {path!r}: {exc}"
                 ) from exc
             self._relations[resolved] = relation
+        return relation
+
+    def _store_relation(self, ref: str) -> SpatialRelation:
+        """Resolve a ``store:<fingerprint>`` reference — no WKT at all.
+
+        The relation is materialised once from the store's pages
+        (:meth:`~repro.datasets.store.RelationStore.load_relation`, its
+        columnar representation pre-seeded from disk) and cached under
+        the reference string; with the sessions warmed from the same
+        store, a join by fingerprint ships zero geometry bytes anywhere
+        on the request path.
+        """
+        relation = self._relations.get(ref)
+        if relation is None:
+            store = self.service.store
+            if store is None:
+                raise BadRequestError(
+                    f"relation reference {ref!r} needs a store; start the "
+                    "server with --store-dir"
+                )
+            try:
+                relation = store.load_relation(ref[len("store:"):])
+            except StoreError as exc:
+                raise BadRequestError(
+                    f"cannot load relation {ref!r}: {exc}"
+                ) from exc
+            self._relations[ref] = relation
         return relation
 
 

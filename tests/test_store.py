@@ -1,0 +1,500 @@
+"""Persistent relation store: round-trips, corruption, stability, CLI.
+
+Four concerns, one file:
+
+* **Round-trip fidelity** — ``save`` then ``load`` reproduces every
+  packed column byte-identically through read-only memmaps, and
+  ``to_relation`` rebuilds the live geometry with the columnar cache
+  pre-seeded (no packing kernel runs on load).
+* **Corruption is a clean error** — every structural defect a disk can
+  serve (unparsable manifest, wrong format version, missing keys,
+  fingerprint mismatch, bogus counts, dtype/shape/nbytes drift,
+  missing or truncated pages) raises :class:`StoreCorruptionError` at
+  ``load``; silent byte flips that keep sizes intact are caught by
+  :meth:`StoredRelation.verify`.
+* **Fingerprint stability across processes** — the restart story only
+  works if a *different* interpreter re-packs the same geometry to the
+  same fingerprint and the same column bytes.  A subprocess proves it.
+* **CLI and service fronts** — ``repro store pack/ls/rm``,
+  ``join --store-dir`` with ``store:<fingerprint>`` references, and the
+  server's ``warm``/``telemetry``/store-reference paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from helpers import random_relation_pair, stats_fingerprint
+from repro.cli import main
+from repro.core.join import JoinConfig, SpatialJoinProcessor
+from repro.core.parallel_exec import live_shared_segments
+from repro.core.session import JoinSession
+from repro.datasets import (
+    RelationStore,
+    StoreCorruptionError,
+    StoreMissError,
+    StoreError,
+)
+from repro.datasets.io import save_relation
+from repro.datasets.store import RING_COLUMNS, STORE_FORMAT_VERSION
+from repro.service import JoinService, JoinServiceServer
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RelationStore(tmp_path / "store")
+
+
+@pytest.fixture()
+def packed(store):
+    """One relation saved to the store: (relation, fingerprint, store)."""
+    rel_a, _ = random_relation_pair(81, n_objects=14)
+    fingerprint = store.save(rel_a)
+    return rel_a, fingerprint, store
+
+
+def _manifest_path(store, fingerprint):
+    return store.directory / fingerprint / "manifest.json"
+
+
+def _edit_manifest(store, fingerprint, mutate):
+    path = _manifest_path(store, fingerprint)
+    manifest = json.loads(path.read_text())
+    mutate(manifest)
+    path.write_text(json.dumps(manifest))
+
+
+class TestRoundTrip:
+    def test_columns_come_back_byte_identical(self, packed):
+        relation, fingerprint, store = packed
+        columnar = relation.columnar()
+        stored = store.load(fingerprint)
+
+        assert stored.fingerprint == columnar.fingerprint == fingerprint
+        assert stored.name == relation.name
+        assert stored.n_objects == len(relation)
+
+        rings = columnar.rings
+        for name, original in (
+            ("oids", rings.oids),
+            ("object_rings", rings.object_rings),
+            ("ring_offsets", rings.ring_offsets),
+            ("ring_xy", rings.ring_xy),
+            ("mbrs", columnar.mbrs),
+            ("areas", columnar.areas),
+        ):
+            page = stored.column(name)
+            assert isinstance(page, np.memmap)
+            assert page.tobytes() == np.ascontiguousarray(original).tobytes()
+        stored.verify()
+
+    def test_to_relation_preseeds_columnar_without_repacking(self, packed):
+        relation, fingerprint, store = packed
+        loaded = store.load_relation(fingerprint)
+
+        # The columnar cache is installed up front from the pages; no
+        # packing kernel has run (pack counters exist only after packs).
+        assert loaded._columnar is not None
+        columnar = loaded.columnar()
+        assert columnar.fingerprint == fingerprint
+        assert columnar.pack_counts == {}
+
+        # Geometry is bit-identical: same oids, same vertices.
+        assert [o.oid for o in loaded] == [o.oid for o in relation]
+        for mine, theirs in zip(loaded, relation):
+            assert mine.polygon.shell == theirs.polygon.shell
+
+        # And the loaded relation joins identically to the original.
+        config = JoinConfig(exact_method="vectorized")
+        original = SpatialJoinProcessor(config).join(relation, relation)
+        replayed = SpatialJoinProcessor(config).join(loaded, loaded)
+        assert sorted(replayed.id_pairs()) == sorted(original.id_pairs())
+        assert stats_fingerprint(replayed.stats) == stats_fingerprint(
+            original.stats
+        )
+
+    def test_save_is_idempotent_and_content_addressed(self, packed):
+        relation, fingerprint, store = packed
+        before = _manifest_path(store, fingerprint).stat().st_mtime_ns
+        assert store.save(relation) == fingerprint
+        assert _manifest_path(store, fingerprint).stat().st_mtime_ns == before
+        assert len(store) == 1
+
+        # Same geometry under a different relation name: new content
+        # identity, new store entry.
+        renamed = type(relation)("renamed", [])
+        renamed.objects = relation.objects
+        other = store.save(renamed)
+        assert other != fingerprint
+        assert sorted(store) == sorted([fingerprint, other])
+
+    def test_management_surface(self, packed):
+        relation, fingerprint, store = packed
+        assert fingerprint in store
+        assert store.fingerprints() == [fingerprint]
+        assert store.remove(fingerprint) is True
+        assert store.remove(fingerprint) is False
+        assert fingerprint not in store
+        assert len(store) == 0
+
+    def test_miss_is_a_keyed_miss(self, store):
+        with pytest.raises(StoreMissError) as excinfo:
+            store.load("deadbeef" * 4)
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, StoreError)
+        assert "not in store" in str(excinfo.value)
+
+
+class TestCorruption:
+    def test_unparsable_manifest(self, packed):
+        _, fingerprint, store = packed
+        _manifest_path(store, fingerprint).write_text("{not json")
+        with pytest.raises(StoreCorruptionError, match="unreadable manifest"):
+            store.load(fingerprint)
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda m: m.update(format_version=STORE_FORMAT_VERSION + 1),
+             "format version"),
+            (lambda m: m.pop("n_points"), "missing 'n_points'"),
+            (lambda m: m.update(fingerprint="0" * 32),
+             "does not match directory"),
+            (lambda m: m.update(n_objects="many"), "non-negative integer"),
+            (lambda m: m.update(n_rings=True), "non-negative integer"),
+            (lambda m: m.update(n_points=-1), "non-negative integer"),
+            (lambda m: m.update(columns=[]), "'columns' is not an object"),
+            (lambda m: m["columns"].pop("ring_xy"), "missing or incomplete"),
+            (lambda m: m["columns"]["oids"].pop("nbytes"),
+             "missing or incomplete"),
+            (lambda m: m["columns"]["oids"].update(dtype="<f8"), "dtype"),
+            (lambda m: m["columns"]["areas"].update(
+                shape=[m["n_objects"] + 1]), "disagrees with the manifest"),
+            (lambda m: m["columns"]["ring_xy"].update(
+                nbytes=m["columns"]["ring_xy"]["nbytes"] - 8),
+             "disagrees with nbytes"),
+        ],
+        ids=[
+            "format-version", "missing-count", "fingerprint-mismatch",
+            "count-str", "count-bool", "count-negative", "columns-list",
+            "column-missing", "column-incomplete", "dtype-drift",
+            "shape-drift", "nbytes-drift",
+        ],
+    )
+    def test_manifest_defects(self, packed, mutate, match):
+        _, fingerprint, store = packed
+        _edit_manifest(store, fingerprint, mutate)
+        with pytest.raises(StoreCorruptionError, match=match):
+            store.load(fingerprint)
+
+    @pytest.mark.parametrize("column", ["ring_xy", "oids"])
+    def test_truncated_page(self, packed, column):
+        _, fingerprint, store = packed
+        page = store.directory / fingerprint / f"{column}.bin"
+        page.write_bytes(page.read_bytes()[:-8])
+        with pytest.raises(StoreCorruptionError, match="truncated"):
+            store.load(fingerprint)
+
+    def test_missing_page(self, packed):
+        _, fingerprint, store = packed
+        (store.directory / fingerprint / "mbrs.bin").unlink()
+        with pytest.raises(StoreCorruptionError, match="missing"):
+            store.load(fingerprint)
+
+    def test_oversized_page(self, packed):
+        _, fingerprint, store = packed
+        page = store.directory / fingerprint / "areas.bin"
+        page.write_bytes(page.read_bytes() + b"\x00" * 8)
+        with pytest.raises(StoreCorruptionError, match="oversized"):
+            store.load(fingerprint)
+
+    def test_verify_catches_size_preserving_byte_flips(self, packed):
+        _, fingerprint, store = packed
+        page = store.directory / fingerprint / "ring_xy.bin"
+        raw = bytearray(page.read_bytes())
+        raw[13] ^= 0xFF
+        page.write_bytes(bytes(raw))
+        stored = store.load(fingerprint)  # sizes still agree: load passes
+        with pytest.raises(StoreCorruptionError, match="digest"):
+            stored.verify()
+
+    def test_warm_from_store_propagates_load_errors_cleanly(self, packed):
+        _, fingerprint, store = packed
+        page = store.directory / fingerprint / "ring_xy.bin"
+        page.write_bytes(page.read_bytes()[:-8])
+        with JoinSession() as session:
+            with pytest.raises(StoreCorruptionError):
+                session.warm_from_store(store, [fingerprint])
+            assert session.cached_relations == 0
+            assert session.stats()["store_loads"] == 0
+        assert live_shared_segments() == frozenset()
+
+
+class TestSubprocessStability:
+    """The same geometry packs to the same fingerprint in any process."""
+
+    def test_reload_in_subprocess_matches_fingerprint_and_bytes(
+        self, packed, tmp_path
+    ):
+        relation, fingerprint, store = packed
+        columnar = relation.columnar()
+        parent = {
+            "fingerprint": fingerprint,
+            "digests": {
+                name: hashlib.blake2b(
+                    np.ascontiguousarray(array).tobytes(), digest_size=16
+                ).hexdigest()
+                for name, array in zip(RING_COLUMNS, columnar.rings)
+            },
+        }
+
+        # The child materialises objects from the stored pages, then
+        # re-packs them from scratch (fresh relation, no pre-seeded
+        # cache) — the full cold-process path, digest included.
+        script = (
+            "import hashlib, json, sys\n"
+            "import numpy as np\n"
+            "from repro.datasets import RelationStore\n"
+            "from repro.datasets.relations import SpatialRelation\n"
+            "from repro.datasets.store import RING_COLUMNS\n"
+            "store = RelationStore(sys.argv[1])\n"
+            "loaded = store.load_relation(sys.argv[2])\n"
+            "fresh = SpatialRelation(loaded.name, [])\n"
+            "fresh.objects = loaded.objects\n"
+            "columnar = fresh.columnar()\n"
+            "print(json.dumps({\n"
+            "    'fingerprint': columnar.fingerprint,\n"
+            "    'digests': {\n"
+            "        name: hashlib.blake2b(\n"
+            "            np.ascontiguousarray(col).tobytes(), digest_size=16\n"
+            "        ).hexdigest()\n"
+            "        for name, col in zip(RING_COLUMNS, columnar.rings)\n"
+            "    },\n"
+            "}))\n"
+        )
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script,
+             str(store.directory), fingerprint],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        child = json.loads(result.stdout)
+        assert child == parent
+
+
+class TestStoreCLI:
+    @pytest.fixture()
+    def wkt_pair(self, tmp_path):
+        rel_a, rel_b = random_relation_pair(55, n_objects=16,
+                                            degenerate=False)
+        path_a, path_b = tmp_path / "a.wkt", tmp_path / "b.wkt"
+        save_relation(rel_a, path_a)
+        save_relation(rel_b, path_b)
+        return rel_a, rel_b, str(path_a), str(path_b)
+
+    def test_pack_ls_rm(self, wkt_pair, tmp_path, capsys):
+        rel_a, rel_b, path_a, path_b = wkt_pair
+        store_dir = str(tmp_path / "store")
+
+        assert main(["store", "pack", store_dir, path_a, path_b]) == 0
+        out = capsys.readouterr().out
+        assert out.count("packed ") == 2
+        fp_a = rel_a.columnar().fingerprint
+        fp_b = rel_b.columnar().fingerprint
+        assert fp_a in out and fp_b in out
+
+        assert main(["store", "ls", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 relations" in out
+        assert fp_a in out and fp_b in out
+
+        assert main(["store", "rm", store_dir, fp_a]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["store", "rm", store_dir, fp_a]) == 2
+        assert "not in store" in capsys.readouterr().err
+
+        assert main(["store", "ls", store_dir]) == 0
+        assert "1 relations" in capsys.readouterr().out
+
+    def test_ls_flags_corrupted_entries(self, wkt_pair, tmp_path, capsys):
+        _, _, path_a, _ = wkt_pair
+        store_dir = tmp_path / "store"
+        assert main(["store", "pack", str(store_dir), path_a]) == 0
+        capsys.readouterr()
+        fingerprint = RelationStore(store_dir).fingerprints()[0]
+        _edit_manifest(
+            RelationStore(store_dir), fingerprint, lambda m: m.pop("columns")
+        )
+        assert main(["store", "ls", str(store_dir)]) == 0
+        assert "CORRUPTED" in capsys.readouterr().out
+
+    def test_pack_rejects_unreadable_relation(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.wkt")
+        assert main(["store", "pack", str(tmp_path / "s"), missing]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_join_by_store_reference(self, wkt_pair, tmp_path, capsys):
+        rel_a, rel_b, path_a, path_b = wkt_pair
+        store_dir = str(tmp_path / "store")
+        assert main(["store", "pack", store_dir, path_a, path_b]) == 0
+        capsys.readouterr()
+        fp_a = rel_a.columnar().fingerprint
+        fp_b = rel_b.columnar().fingerprint
+
+        oracle = SpatialJoinProcessor(
+            JoinConfig(exact_method="vectorized")
+        ).join(rel_a, rel_b)
+        assert main([
+            "join", f"store:{fp_a}", f"store:{fp_b}",
+            "--store-dir", store_dir, "--exact", "vectorized",
+        ]) == 0
+        assert str(len(oracle.id_pairs())) in capsys.readouterr().out
+
+    def test_store_reference_without_store_dir_fails(self, capsys):
+        assert main(["join", "store:abc", "store:def"]) == 2
+        assert "needs --store-dir" in capsys.readouterr().err
+
+    def test_unknown_store_reference_fails(self, tmp_path, capsys):
+        assert main([
+            "join", "store:unknown", "store:unknown",
+            "--store-dir", str(tmp_path / "s"),
+        ]) == 2
+        assert "not in store" in capsys.readouterr().err
+
+
+class TestServiceStore:
+    def _serve(self, test_body, **service_kwargs):
+        async def drive():
+            service = JoinService(**service_kwargs)
+            server = JoinServiceServer(service, port=0)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            try:
+                return await test_body(reader, writer)
+            finally:
+                writer.close()
+                await server.close()
+
+        return asyncio.run(drive())
+
+    @staticmethod
+    async def _rpc(reader, writer, payload):
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+        return json.loads(await reader.readline())
+
+    @pytest.fixture()
+    def populated(self, tmp_path):
+        rel_a, rel_b = random_relation_pair(77, n_objects=14,
+                                            degenerate=False)
+        store = RelationStore(tmp_path / "store")
+        return store, rel_a, store.save(rel_a), rel_b, store.save(rel_b)
+
+    def test_warm_then_join_by_fingerprint(self, populated):
+        store, rel_a, fp_a, rel_b, fp_b = populated
+        oracle = SpatialJoinProcessor(JoinConfig()).join(rel_a, rel_b)
+
+        async def body(reader, writer):
+            warm = await self._rpc(reader, writer, {"op": "warm"})
+            join = await self._rpc(reader, writer, {
+                "op": "join",
+                "relation_a": f"store:{fp_a}",
+                "relation_b": f"store:{fp_b}",
+            })
+            telemetry = await self._rpc(reader, writer, {"op": "telemetry"})
+            return warm, join, telemetry
+
+        warm, join, telemetry = self._serve(
+            body, sessions=1, store_dir=str(store.directory)
+        )
+        assert warm == {
+            "status": "ok", "op": "warm", "sessions": 1,
+            "segments_loaded": 2, "segments_cached": 0,
+            "fingerprints": sorted([fp_a, fp_b]),
+        }
+        assert join["status"] == "ok"
+        assert sorted(tuple(p) for p in join["pairs"]) == sorted(
+            oracle.id_pairs()
+        )
+        assert telemetry["store"] == {
+            "dir": str(store.directory), "entries": 2,
+        }
+        sessions = telemetry["sessions"]
+        assert sessions["store_loads"] == 2
+        assert sessions["store_load_bytes"] > 0
+        # The warmed segments made the join's lookups pure cache hits.
+        assert sessions["segment_cache_hits"] >= 2
+        assert sessions["segment_cache_misses"] == 0
+        assert live_shared_segments() == frozenset()
+
+    def test_warm_without_store_is_a_bad_request(self):
+        async def body(reader, writer):
+            return await self._rpc(reader, writer, {"op": "warm"})
+
+        response = self._serve(body, sessions=1)
+        assert response["status"] == "error"
+        assert response["code"] == 400
+        assert "no relation store" in response["error"]
+
+    def test_warm_validates_payload(self, populated):
+        store = populated[0]
+
+        async def body(reader, writer):
+            bad_type = await self._rpc(
+                reader, writer, {"op": "warm", "fingerprints": "abc"}
+            )
+            bad_field = await self._rpc(
+                reader, writer, {"op": "warm", "extra": 1}
+            )
+            return bad_type, bad_field
+
+        bad_type, bad_field = self._serve(
+            body, sessions=1, store_dir=str(store.directory)
+        )
+        assert bad_type["code"] == 400
+        assert "list of strings" in bad_type["error"]
+        assert bad_field["code"] == 400
+        assert "unknown warm fields" in bad_field["error"]
+
+    def test_unknown_store_reference_is_a_bad_request(self, populated):
+        store = populated[0]
+
+        async def body(reader, writer):
+            return await self._rpc(reader, writer, {
+                "op": "join",
+                "relation_a": "store:doesnotexist",
+                "relation_b": "store:doesnotexist",
+            })
+
+        response = self._serve(
+            body, sessions=1, store_dir=str(store.directory)
+        )
+        assert response["status"] == "error"
+        assert response["code"] == 400
+        assert "not in store" in response["error"]
+
+    def test_store_reference_without_store_is_a_bad_request(self):
+        async def body(reader, writer):
+            return await self._rpc(reader, writer, {
+                "op": "join", "relation_a": "store:abc",
+                "relation_b": "store:abc",
+            })
+
+        response = self._serve(body, sessions=1)
+        assert response["status"] == "error"
+        assert response["code"] == 400
+        assert "--store-dir" in response["error"]
